@@ -1,0 +1,70 @@
+// Command lecbench regenerates the paper-reproduction tables (experiments
+// E1-E20 of DESIGN.md) and prints them. EXPERIMENTS.md records one such
+// run annotated against the paper's claims.
+//
+// Usage:
+//
+//	lecbench            # run everything
+//	lecbench -run E1,E5 # selected experiments
+//	lecbench -list      # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lecopt/internal/experiments"
+)
+
+func main() {
+	var (
+		runSpec = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+	if err := run(*runSpec, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "lecbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(runSpec string, list bool) error {
+	if list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	var selected []experiments.Experiment
+	if runSpec == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(runSpec, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+	failures := 0
+	for _, e := range selected {
+		tab, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			return err
+		}
+		if !tab.Pass {
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment claim(s) failed", failures)
+	}
+	fmt.Printf("all %d experiment claims hold\n", len(selected))
+	return nil
+}

@@ -1,0 +1,175 @@
+// Command lecopt optimizes a SQL query under an uncertain execution
+// environment and prints the plan each algorithm chooses, with its
+// expected cost. It is the interactive face of the LEC optimizer library.
+//
+// Usage:
+//
+//	lecopt -demo example11 -mem "700:0.2,2000:0.8" \
+//	       -sql "SELECT * FROM A, B WHERE A.k = B.k ORDER BY A.k"
+//
+//	lecopt -catalog schema.json -mem "64:1,256:1,1024:2" -algs lsc-mean,algorithm-c \
+//	       -sql "SELECT * FROM t0, t1 WHERE t0.k = t1.k" -simulate 10000
+//
+// The -chain flag turns the environment dynamic: "sticky:0.8" builds a
+// Markov chain over the memory law's support that stays put with
+// probability 0.8 per join phase (Section 3.5 of the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lecopt/internal/catalog"
+	"lecopt/internal/catio"
+	"lecopt/internal/core"
+	"lecopt/internal/dist"
+	"lecopt/internal/envsim"
+	"lecopt/internal/experiments"
+	"lecopt/internal/sqlmini"
+	"lecopt/internal/workload"
+)
+
+func main() {
+	var (
+		catalogPath = flag.String("catalog", "", "path to a catalog JSON file")
+		demo        = flag.String("demo", "", "built-in demo catalog: example11 | warehouse")
+		sqlText     = flag.String("sql", "", "query (SELECT * FROM ... WHERE ... [ORDER BY ...])")
+		memSpec     = flag.String("mem", "700:0.2,2000:0.8", "memory law, \"pages:weight,...\"")
+		chainSpec   = flag.String("chain", "", "dynamic memory: \"sticky:STAY\" over the law's support")
+		algsSpec    = flag.String("algs", "lsc-mean,lsc-mode,algorithm-a,algorithm-b,algorithm-c", "comma-separated algorithms")
+		topC        = flag.Int("topc", 3, "Algorithm B candidate-list depth")
+		simulate    = flag.Int("simulate", 0, "Monte-Carlo runs for a realized-cost tournament (0 = off)")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		showPlans   = flag.Bool("plans", true, "print operator trees")
+	)
+	flag.Parse()
+	if err := run(*catalogPath, *demo, *sqlText, *memSpec, *chainSpec, *algsSpec, *topC, *simulate, *seed, *showPlans); err != nil {
+		fmt.Fprintln(os.Stderr, "lecopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(catalogPath, demo, sqlText, memSpec, chainSpec, algsSpec string, topC, simulate int, seed int64, showPlans bool) error {
+	cat, err := loadCatalog(catalogPath, demo)
+	if err != nil {
+		return err
+	}
+	if sqlText == "" {
+		return fmt.Errorf("-sql is required (e.g. \"SELECT * FROM A, B WHERE A.k = B.k\")")
+	}
+	blk, err := sqlmini.ParseAndValidate(sqlText, cat)
+	if err != nil {
+		return err
+	}
+	mem, err := catio.ParseMemLaw(memSpec)
+	if err != nil {
+		return err
+	}
+	env := envsim.Env{Mem: mem}
+	if chainSpec != "" {
+		chain, err := parseChain(chainSpec, mem)
+		if err != nil {
+			return err
+		}
+		env.Chain = chain
+	}
+	algs, err := parseAlgs(algsSpec)
+	if err != nil {
+		return err
+	}
+	sc := &core.Scenario{Cat: cat, Query: blk, Env: env, TopC: topC}
+	reports, err := sc.Compare(algs...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query: %s\n", blk)
+	fmt.Printf("memory law: %s", mem)
+	if env.Chain != nil {
+		fmt.Printf("  (dynamic: %s)", chainSpec)
+	}
+	fmt.Println()
+	fmt.Println()
+	for _, r := range reports {
+		fmt.Printf("%-12s  expected cost %.6g  (selection score %.6g, %d candidate plans)\n",
+			r.Algorithm, r.EC, r.Score, r.Candidates)
+		if showPlans {
+			fmt.Println(indent(r.Plan.String(), "    "))
+		}
+	}
+	if simulate > 0 {
+		res, err := sc.Tournament(reports, simulate, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nrealized-cost tournament (%d runs, common random numbers):\n", simulate)
+		for i, name := range res.Names {
+			st := res.Stats[i]
+			fmt.Printf("  %-12s  mean %.6g  p95 %.6g  max %.6g  wins %d\n",
+				name, st.Mean, st.P95, st.Max, res.Wins[i])
+		}
+	}
+	return nil
+}
+
+func loadCatalog(path, demo string) (*catalog.Catalog, error) {
+	switch {
+	case path != "" && demo != "":
+		return nil, fmt.Errorf("use either -catalog or -demo, not both")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return catio.Read(f)
+	case demo == "example11" || demo == "":
+		cat, _, err := experiments.Example11()
+		return cat, err
+	case demo == "warehouse":
+		cat, _, err := workload.Warehouse()
+		return cat, err
+	default:
+		return nil, fmt.Errorf("unknown demo %q (example11 | warehouse)", demo)
+	}
+}
+
+func parseAlgs(spec string) ([]core.Algorithm, error) {
+	byName := map[string]core.Algorithm{}
+	for _, a := range core.Algorithms {
+		byName[a.String()] = a
+	}
+	var out []core.Algorithm
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		a, ok := byName[part]
+		if !ok {
+			return nil, fmt.Errorf("unknown algorithm %q (want one of %v)", part, core.Algorithms)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no algorithms selected")
+	}
+	return out, nil
+}
+
+func parseChain(spec string, mem dist.Dist) (*dist.Chain, error) {
+	var stay float64
+	if _, err := fmt.Sscanf(spec, "sticky:%g", &stay); err != nil {
+		return nil, fmt.Errorf("chain spec %q: want \"sticky:STAY\"", spec)
+	}
+	return dist.Sticky(mem.Support(), stay)
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

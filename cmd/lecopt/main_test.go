@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lecopt/internal/catio"
+	"lecopt/internal/core"
+)
+
+func TestRunExample11(t *testing.T) {
+	err := run("", "example11", "SELECT * FROM A, B WHERE A.k = B.k ORDER BY A.k",
+		"700:0.2,2000:0.8", "", "lsc-mode,algorithm-c", 3, 0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithSimulationAndChain(t *testing.T) {
+	err := run("", "example11", "SELECT * FROM A, B WHERE A.k = B.k",
+		"700:0.5,2000:0.5", "sticky:0.8", "algorithm-c", 3, 200, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWarehouseDemo(t *testing.T) {
+	err := run("", "warehouse", "SELECT * FROM sales, customer WHERE sales.customer_k = customer.k",
+		"256:1,1024:1", "", "lsc-mean,algorithm-c", 2, 0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCatalogFile(t *testing.T) {
+	doc := `{"tables":[{"name":"t","pages":100,"rows":1000,
+		"columns":[{"name":"k","distinct":1000,"min":0,"max":999}]}]}`
+	path := filepath.Join(t.TempDir(), "cat.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", "SELECT * FROM t", "100", "", "algorithm-c", 3, 0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"both catalog and demo", func() error {
+			return run("x.json", "example11", "SELECT * FROM A", "10", "", "algorithm-c", 3, 0, 1, false)
+		}},
+		{"missing catalog file", func() error {
+			return run("/nonexistent.json", "", "SELECT * FROM A", "10", "", "algorithm-c", 3, 0, 1, false)
+		}},
+		{"unknown demo", func() error {
+			return run("", "bogus", "SELECT * FROM A", "10", "", "algorithm-c", 3, 0, 1, false)
+		}},
+		{"no sql", func() error {
+			return run("", "example11", "", "10", "", "algorithm-c", 3, 0, 1, false)
+		}},
+		{"bad sql", func() error {
+			return run("", "example11", "DELETE FROM A", "10", "", "algorithm-c", 3, 0, 1, false)
+		}},
+		{"bad mem law", func() error {
+			return run("", "example11", "SELECT * FROM A", "oops", "", "algorithm-c", 3, 0, 1, false)
+		}},
+		{"bad chain", func() error {
+			return run("", "example11", "SELECT * FROM A", "10", "volatile", "algorithm-c", 3, 0, 1, false)
+		}},
+		{"unknown algorithm", func() error {
+			return run("", "example11", "SELECT * FROM A", "10", "", "alg-zzz", 3, 0, 1, false)
+		}},
+		{"no algorithms", func() error {
+			return run("", "example11", "SELECT * FROM A", "10", "", ",", 3, 0, 1, false)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.f(); err == nil {
+				t.Fatalf("%s should fail", tc.name)
+			}
+		})
+	}
+}
+
+func TestParseAlgs(t *testing.T) {
+	algs, err := parseAlgs("lsc-mean, algorithm-c")
+	if err != nil || len(algs) != 2 || algs[1] != core.AlgC {
+		t.Fatalf("parseAlgs: %v %v", algs, err)
+	}
+}
+
+func TestParseChain(t *testing.T) {
+	mem, err := catio.ParseMemLaw("10:1,20:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := parseChain("sticky:0.9", mem)
+	if err != nil || ch.Len() != 2 {
+		t.Fatalf("parseChain: %v", err)
+	}
+	if _, err := parseChain("sticky:9", mem); err == nil {
+		t.Fatal("stay>1 should fail")
+	}
+}
+
+func TestIndent(t *testing.T) {
+	got := indent("a\nb", "  ")
+	if got != "  a\n  b" {
+		t.Fatalf("indent = %q", got)
+	}
+}

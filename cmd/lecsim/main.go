@@ -1,0 +1,128 @@
+// Command lecsim Monte-Carlo-simulates the warehouse query fleet (or the
+// Example 1.1 query) under a chosen environment and reports the realized
+// cost of the classical plan versus the LEC plan — the paper's "optimize
+// once, execute repeatedly" setting made concrete.
+//
+// Usage:
+//
+//	lecsim -env paper-bimodal -runs 10000
+//	lecsim -env markov-volatile -query 3
+//	lecsim -list-envs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"lecopt/internal/core"
+	"lecopt/internal/envsim"
+	"lecopt/internal/experiments"
+	"lecopt/internal/plan"
+	"lecopt/internal/query"
+	"lecopt/internal/workload"
+)
+
+func main() {
+	var (
+		envName  = flag.String("env", "paper-bimodal", "environment name from the standard suite")
+		queryIdx = flag.Int("query", 0, "warehouse query 1..4, or 0 for the whole fleet")
+		example  = flag.Bool("example11", false, "simulate the paper's Example 1.1 instead of the warehouse")
+		runs     = flag.Int("runs", 10000, "Monte-Carlo executions per query")
+		seed     = flag.Int64("seed", 1, "rng seed")
+		listEnvs = flag.Bool("list-envs", false, "list environments and exit")
+	)
+	flag.Parse()
+	if err := run(*envName, *queryIdx, *example, *runs, *seed, *listEnvs); err != nil {
+		fmt.Fprintln(os.Stderr, "lecsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(envName string, queryIdx int, example bool, runs int, seed int64, listEnvs bool) error {
+	envs, err := workload.StandardEnvs()
+	if err != nil {
+		return err
+	}
+	if listEnvs {
+		for _, ne := range envs {
+			kind := "static"
+			if ne.Env.Chain != nil {
+				kind = "markov"
+			}
+			fmt.Printf("%-16s %-7s %s\n", ne.Name, kind, ne.Env.Mem)
+		}
+		return nil
+	}
+	var env envsim.Env
+	found := false
+	for _, ne := range envs {
+		if ne.Name == envName {
+			env, found = ne.Env, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown environment %q (use -list-envs)", envName)
+	}
+
+	type job struct {
+		name string
+		sc   *core.Scenario
+	}
+	var jobs []job
+	if example {
+		cat, blk, err := experiments.Example11()
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, job{"example-1.1", &core.Scenario{Cat: cat, Query: blk, Env: env, Opts: experiments.Example11Opts()}})
+	} else {
+		cat, queries, err := workload.Warehouse()
+		if err != nil {
+			return err
+		}
+		pick := func(i int, q *query.Block) {
+			jobs = append(jobs, job{fmt.Sprintf("warehouse-Q%d", i+1), &core.Scenario{Cat: cat, Query: q, Env: env}})
+		}
+		if queryIdx > 0 {
+			if queryIdx > len(queries) {
+				return fmt.Errorf("query %d out of range 1..%d", queryIdx, len(queries))
+			}
+			pick(queryIdx-1, queries[queryIdx-1])
+		} else {
+			for i, q := range queries {
+				pick(i, q)
+			}
+		}
+	}
+
+	fmt.Printf("environment %s, %d runs per query (seed %d)\n\n", envName, runs, seed)
+	var fleetLSC, fleetLEC float64
+	for _, j := range jobs {
+		reports, err := j.sc.Compare(core.AlgLSCMean, core.AlgC)
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		tour := &envsim.Tournament{
+			Names: []string{"lsc-mean", "algorithm-c"},
+			Plans: []*plan.Node{reports[0].Plan, reports[1].Plan},
+		}
+		res, err := tour.Run(j.sc.Env, runs, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return err
+		}
+		lsc, lec := res.Stats[0], res.Stats[1]
+		fleetLSC += lsc.Total
+		fleetLEC += lec.Total
+		fmt.Printf("%s\n", j.name)
+		fmt.Printf("  lsc-mean     mean %.6g  p95 %.6g  max %.6g  wins %d\n", lsc.Mean, lsc.P95, lsc.Max, res.Wins[0])
+		fmt.Printf("  algorithm-c  mean %.6g  p95 %.6g  max %.6g  wins %d\n", lec.Mean, lec.P95, lec.Max, res.Wins[1])
+		fmt.Printf("  LEC/LSC realized mean ratio: %.4f\n\n", lec.Mean/lsc.Mean)
+	}
+	if len(jobs) > 1 {
+		fmt.Printf("fleet total: lsc %.6g, lec %.6g, ratio %.4f\n", fleetLSC, fleetLEC, fleetLEC/fleetLSC)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunListEnvs(t *testing.T) {
+	if err := run("paper-bimodal", 0, false, 10, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExample11(t *testing.T) {
+	if err := run("paper-bimodal", 0, true, 200, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWarehouseSingleQuery(t *testing.T) {
+	if err := run("wide-spread", 1, false, 100, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWarehouseDynamicEnv(t *testing.T) {
+	if err := run("markov-volatile", 2, false, 100, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("no-such-env", 0, false, 10, 1, false); err == nil {
+		t.Fatal("unknown env should fail")
+	}
+	if err := run("paper-bimodal", 99, false, 10, 1, false); err == nil {
+		t.Fatal("query out of range should fail")
+	}
+}

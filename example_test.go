@@ -1,0 +1,96 @@
+package lecopt_test
+
+import (
+	"fmt"
+	"log"
+
+	"lecopt"
+)
+
+// buildExample11 assembles the paper's motivating catalog.
+func buildExample11() *lecopt.Catalog {
+	cat := lecopt.NewCatalog()
+	a, err := lecopt.NewTable("A", 1_000_000, 100_000_000,
+		lecopt.Column{Name: "k", Distinct: 4e13 / 3000.0, Min: 0, Max: 1e12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := lecopt.NewTable("B", 400_000, 40_000_000,
+		lecopt.Column{Name: "k", Distinct: 1000, Min: 0, Max: 1e12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cat.AddTable(a); err != nil {
+		log.Fatal(err)
+	}
+	if err := cat.AddTable(b); err != nil {
+		log.Fatal(err)
+	}
+	return cat
+}
+
+// Example reproduces the paper's Example 1.1 through the public API: the
+// classical optimizer picks the sort-merge plan, the LEC optimizer picks
+// grace-hash + sort, and the LEC plan wins in expectation.
+func Example() {
+	cat := buildExample11()
+	blk, err := lecopt.ParseSQL("SELECT * FROM A, B WHERE A.k = B.k ORDER BY A.k", cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mem, err := lecopt.Bimodal(700, 2000, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := &lecopt.Scenario{Cat: cat, Query: blk, Env: lecopt.Env{Mem: mem}}
+
+	classical, err := sc.Optimize(lecopt.AlgLSCMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lec, err := sc.Optimize(lecopt.AlgC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classical: %s (EC %.4g)\n", classical.Plan.Signature(), classical.EC)
+	fmt.Printf("lec:       %s (EC %.4g)\n", lec.Plan.Signature(), lec.EC)
+	fmt.Printf("lec wins: %v\n", lec.EC < classical.EC)
+	// Output:
+	// classical: (A sort-merge B) (EC 4.76e+06)
+	// lec:       sort<A.k>((A grace-hash B)) (EC 4.206e+06)
+	// lec wins: true
+}
+
+// ExampleScenario_Compare runs several algorithms at once and reports each
+// plan's expected cost under the same environment.
+func ExampleScenario_Compare() {
+	cat := buildExample11()
+	blk, err := lecopt.ParseSQL("SELECT * FROM A, B WHERE A.k = B.k ORDER BY A.k", cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mem, err := lecopt.Bimodal(700, 2000, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := &lecopt.Scenario{Cat: cat, Query: blk, Env: lecopt.Env{Mem: mem}}
+	reports, err := sc.Compare(lecopt.AlgLSCMean, lecopt.AlgA, lecopt.AlgC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reports {
+		fmt.Printf("%-11s EC %.4g\n", r.Algorithm, r.EC)
+	}
+	// Output:
+	// lsc-mean    EC 4.76e+06
+	// algorithm-a EC 4.206e+06
+	// algorithm-c EC 4.206e+06
+}
+
+// ExamplePointDist shows the degenerate law under which every LEC
+// algorithm coincides with the classical optimizer.
+func ExamplePointDist() {
+	p := lecopt.PointDist(1000)
+	fmt.Println(p.Mean(), p.Len())
+	// Output: 1000 1
+}

@@ -1,0 +1,70 @@
+// Parametric LEC optimization ([INSS92] + §3.2/§3.4): the paper proposes
+// precomputing "the best expected plan under a number of possible
+// distributions (ones that give good coverage of what we expect to
+// encounter at run-time)" and storing them for start-up-time use. This
+// example precomputes a plan cache for Example 1.1 over a grid of
+// contention probabilities, then answers start-up-time laws — including
+// ones far off the grid — without re-running the optimizer's plan-space
+// search.
+//
+// Run with: go run ./examples/parametric
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lecopt/internal/dist"
+	"lecopt/internal/experiments"
+	"lecopt/internal/optimizer"
+	"lecopt/internal/parametric"
+)
+
+func main() {
+	cat, blk, err := experiments.Example11()
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := experiments.Example11Opts()
+
+	// Compile time: one LEC optimization per anticipated law.
+	grid := []float64{0, 0.25, 0.5, 0.75, 1}
+	laws, err := parametric.CoverageGrid(700, 2000, grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache, err := parametric.Precompute(cat, blk, opts, laws)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("precomputed %d laws -> %d distinct plans\n\n", cache.Len(), cache.Plans())
+	for _, e := range cache.Entries() {
+		fmt.Printf("  anticipated %s -> %s (EC %.6g)\n", e.Law, e.Plan.Signature(), e.EC)
+	}
+
+	// Start-up time: the observed law differs from every anticipated one.
+	fmt.Println("\nstart-up-time laws:")
+	for _, p := range []float64{0.001, 0.1, 0.6} {
+		actual, err := dist.Bimodal(700, 2000, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Constant-time variant: nearest anticipated law.
+		near, err := cache.Nearest(actual)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Candidate re-costing variant: exact over the cached plans.
+		best, ec, err := cache.SelectByEC(actual)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Reference: full optimization from scratch.
+		full, err := optimizer.AlgorithmC(cat, blk, opts, actual)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  Pr(700)=%.3f  nearest->%s  select->%s (EC %.6g)  full opt EC %.6g  regret %.2g%%\n",
+			p, near.Plan.Signature(), best.Signature(), ec, full.EC, 100*(ec/full.EC-1))
+	}
+}

@@ -1,0 +1,101 @@
+// Selectivity uncertainty (Section 3.6): selectivities are "notoriously
+// uncertain", so Algorithm D models them — together with base-relation
+// sizes and memory — as distributions. Each dynamic-programming node
+// carries exactly the four distributions of the paper's Figure 1: Pr(M),
+// Pr(|Bj|), Pr(|Aj|) and Pr(σ), and propagates the result-size law upward
+// with Section 3.6.3 rebucketing.
+//
+// This example optimizes a two-way join whose selectivity estimate may be
+// off by up to 5x in either direction and shows where the multi-parameter
+// plan diverges from the point-estimate plan.
+//
+// Run with: go run ./examples/selectivity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lecopt/internal/catalog"
+	"lecopt/internal/core"
+	"lecopt/internal/dist"
+	"lecopt/internal/envsim"
+	"lecopt/internal/optimizer"
+	"lecopt/internal/sqlmini"
+)
+
+func main() {
+	cat := catalog.New()
+	mustAdd := func(t *catalog.Table, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cat.AddTable(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mustAdd(catalog.NewTable("orders", 40_000, 4_000_000,
+		catalog.Column{Name: "custkey", Type: catalog.TypeInt, Distinct: 4_000_000, Min: 0, Max: 1e9}))
+	mustAdd(catalog.NewTable("customer", 10_000, 1_000_000,
+		catalog.Column{Name: "custkey", Type: catalog.TypeInt, Distinct: 1_000_000, Min: 0, Max: 1e9}))
+
+	blk, err := sqlmini.ParseAndValidate(
+		"SELECT * FROM orders, customer WHERE orders.custkey = customer.custkey", cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Memory straddles grace-hash's √S threshold for some but not all of
+	// the plausible input sizes.
+	mem := dist.MustNew([]float64{60, 120, 320}, []float64{0.35, 0.35, 0.3})
+
+	// The orders table's post-filter size is uncertain (say, upstream
+	// operators make it hard to predict), and the join selectivity
+	// estimate carries a 5x uncertainty band.
+	sizeOrders := dist.MustNew([]float64{15_000, 40_000, 90_000}, []float64{0.25, 0.5, 0.25})
+	sigma, err := catalog.SelectivityDist(1e-6, 5, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sc := &core.Scenario{
+		Cat:   cat,
+		Query: blk,
+		Env:   envsim.Env{Mem: mem},
+		SelLaws: map[string]dist.Dist{
+			optimizer.EdgeKey(blk.Joins[0]): sigma,
+		},
+		SizeLaws: map[string]dist.Dist{"orders": sizeOrders},
+		Opts:     optimizer.Options{SizeBuckets: 64},
+	}
+
+	pointPlan, err := sc.Optimize(core.AlgC) // point sizes & selectivities
+	if err != nil {
+		log.Fatal(err)
+	}
+	jointPlan, err := sc.Optimize(core.AlgD) // full Figure-1 distributions
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("query:", blk)
+	fmt.Printf("memory law: %s\n", mem)
+	fmt.Printf("orders size law: %s\n", sizeOrders)
+	fmt.Printf("selectivity law: %s\n\n", sigma)
+
+	fmt.Println("Algorithm C (memory-only uncertainty):")
+	fmt.Println(pointPlan.Plan)
+	fmt.Printf("  selection score: %.6g\n\n", pointPlan.Score)
+
+	fmt.Println("Algorithm D (memory + size + selectivity uncertainty):")
+	fmt.Println(jointPlan.Plan)
+	fmt.Printf("  selection score: %.6g\n\n", jointPlan.Score)
+
+	if pointPlan.Plan.Signature() == jointPlan.Plan.Signature() {
+		fmt.Println("same plan under both models — the size/selectivity uncertainty")
+		fmt.Println("was not enough to flip the method choice in this configuration")
+	} else {
+		fmt.Println("the plans DIFFER: size/selectivity uncertainty flipped the choice —")
+		fmt.Println("Algorithm D hedged against the heavy tail of the size law")
+	}
+}

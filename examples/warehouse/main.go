@@ -1,0 +1,75 @@
+// Warehouse fleet: the paper's introduction motivates LEC optimization
+// with queries that are "optimized once and then evaluated repeatedly,
+// often over many months or years". This example plans a star-schema
+// analytics fleet (a sales fact table with four dimensions) under a
+// volatile memory environment, then simulates thousands of executions and
+// totals the realized I/O of the classically-planned fleet versus the
+// LEC-planned fleet.
+//
+// Run with: go run ./examples/warehouse
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lecopt/internal/core"
+	"lecopt/internal/envsim"
+	"lecopt/internal/plan"
+	"lecopt/internal/workload"
+)
+
+func main() {
+	cat, queries, err := workload.Warehouse()
+	if err != nil {
+		log.Fatal(err)
+	}
+	envs, err := workload.StandardEnvs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var env envsim.Env
+	for _, ne := range envs {
+		if ne.Name == "wide-spread" {
+			env = ne.Env
+		}
+	}
+
+	fmt.Printf("environment: memory %s\n\n", env.Mem)
+	const runsPerQuery = 5000
+	var fleetLSC, fleetLEC float64
+	for i, q := range queries {
+		sc := &core.Scenario{Cat: cat, Query: q, Env: env}
+		reports, err := sc.Compare(core.AlgLSCMean, core.AlgC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lsc, lec := reports[0], reports[1]
+		same := "same plan"
+		if lsc.Plan.Signature() != lec.Plan.Signature() {
+			same = "plans differ"
+		}
+		fmt.Printf("Q%d: %s\n", i+1, q)
+		fmt.Printf("    EC lsc-mean %.6g | algorithm-c %.6g  (%s)\n", lsc.EC, lec.EC, same)
+		if same == "plans differ" {
+			fmt.Printf("    lsc plan:  %s\n", lsc.Plan.Signature())
+			fmt.Printf("    lec plan:  %s\n", lec.Plan.Signature())
+		}
+
+		tour := &envsim.Tournament{
+			Names: []string{"lsc", "lec"},
+			Plans: []*plan.Node{lsc.Plan, lec.Plan},
+		}
+		res, err := tour.Run(env, runsPerQuery, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fleetLSC += res.Stats[0].Total
+		fleetLEC += res.Stats[1].Total
+		fmt.Printf("    realized mean over %d runs: lsc %.6g | lec %.6g\n\n",
+			runsPerQuery, res.Stats[0].Mean, res.Stats[1].Mean)
+	}
+	fmt.Printf("fleet total realized I/O: lsc %.6g | lec %.6g | savings %.2f%%\n",
+		fleetLSC, fleetLEC, 100*(1-fleetLEC/fleetLSC))
+}

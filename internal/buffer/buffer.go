@@ -1,0 +1,151 @@
+// Package buffer implements a page buffer pool with LRU replacement over
+// the storage layer. Every page the execution engine touches flows through
+// a Pool, which counts physical reads and writes — the "measured I/O" that
+// experiment E15 compares against the paper's analytic cost formulas.
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"lecopt/internal/storage"
+)
+
+// Errors.
+var (
+	ErrBadCapacity = errors.New("buffer: capacity must be positive")
+)
+
+// PageID identifies one page of one relation.
+type PageID struct {
+	Rel   string
+	Index int
+}
+
+// Stats aggregates physical I/O counters.
+type Stats struct {
+	Reads  int64 // pages fetched from storage (cache misses)
+	Writes int64 // pages written to storage
+	Hits   int64 // cache hits
+}
+
+// IO returns total physical page transfers (the paper's cost unit).
+func (s Stats) IO() int64 { return s.Reads + s.Writes }
+
+// Pool is an LRU page cache. The capacity is the operator's memory budget
+// M in pages: an inner relation that fits stays cached across rescans,
+// reproducing the nested-loop formula's S+2 discontinuity; sequential
+// floods larger than the capacity evict themselves, reproducing the
+// multi-pass behaviour of external sort and hash partitioning.
+type Pool struct {
+	store    *storage.Store
+	capacity int
+	frames   map[PageID]*list.Element
+	lru      *list.List // front = most recent
+	stats    Stats
+}
+
+type frame struct {
+	id   PageID
+	page []storage.Tuple
+}
+
+// NewPool builds a pool with the given page capacity.
+func NewPool(store *storage.Store, capacity int) (*Pool, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadCapacity, capacity)
+	}
+	return &Pool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element),
+		lru:      list.New(),
+	}, nil
+}
+
+// Capacity returns the pool's page capacity.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Stats returns a copy of the I/O counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the counters (cache contents are kept).
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+// Read fetches a page, counting a physical read on a miss.
+func (p *Pool) Read(rel string, idx int) ([]storage.Tuple, error) {
+	id := PageID{Rel: rel, Index: idx}
+	if el, ok := p.frames[id]; ok {
+		p.lru.MoveToFront(el)
+		p.stats.Hits++
+		return el.Value.(*frame).page, nil
+	}
+	r, err := p.store.Get(rel)
+	if err != nil {
+		return nil, err
+	}
+	page, err := r.Page(idx)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.Reads++
+	p.insert(id, page)
+	return page, nil
+}
+
+// AppendPage writes a page to the tail of a relation (write-through: one
+// physical write), and caches it.
+func (p *Pool) AppendPage(rel string, page []storage.Tuple) error {
+	r, err := p.store.Get(rel)
+	if err != nil {
+		return err
+	}
+	if err := r.AppendPage(page); err != nil {
+		return err
+	}
+	p.stats.Writes++
+	p.insert(PageID{Rel: rel, Index: r.NumPages() - 1}, page)
+	return nil
+}
+
+// Invalidate drops any cached pages of a relation (call when dropping
+// temporaries so stale frames cannot alias a reused name).
+func (p *Pool) Invalidate(rel string) {
+	for el := p.lru.Front(); el != nil; {
+		next := el.Next()
+		f := el.Value.(*frame)
+		if f.id.Rel == rel {
+			p.lru.Remove(el)
+			delete(p.frames, f.id)
+		}
+		el = next
+	}
+}
+
+func (p *Pool) insert(id PageID, page []storage.Tuple) {
+	if el, ok := p.frames[id]; ok {
+		el.Value.(*frame).page = page
+		p.lru.MoveToFront(el)
+		return
+	}
+	for p.lru.Len() >= p.capacity {
+		oldest := p.lru.Back()
+		if oldest == nil {
+			break
+		}
+		f := oldest.Value.(*frame)
+		p.lru.Remove(oldest)
+		delete(p.frames, f.id)
+	}
+	p.frames[id] = p.lru.PushFront(&frame{id: id, page: page})
+}
+
+// Cached reports whether a page is currently resident (testing hook).
+func (p *Pool) Cached(rel string, idx int) bool {
+	_, ok := p.frames[PageID{Rel: rel, Index: idx}]
+	return ok
+}
+
+// Resident returns the number of cached pages.
+func (p *Pool) Resident() int { return p.lru.Len() }

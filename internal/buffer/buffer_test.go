@@ -1,0 +1,195 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+
+	"lecopt/internal/storage"
+)
+
+func setup(t *testing.T, pages, tpp int) (*storage.Store, *storage.Relation) {
+	t.Helper()
+	s := storage.NewStore()
+	r, err := storage.NewRelation("r", []string{"k"}, tpp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < int64(pages*tpp); i++ {
+		if err := r.Append(storage.Tuple{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	return s, r
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	s, _ := setup(t, 1, 1)
+	if _, err := NewPool(s, 0); !errors.Is(err, ErrBadCapacity) {
+		t.Fatal("zero capacity")
+	}
+}
+
+func TestReadCountsAndCaches(t *testing.T) {
+	s, _ := setup(t, 4, 2)
+	p, err := NewPool(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := p.Read("r", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.Stats(); st.Reads != 4 || st.Hits != 0 {
+		t.Fatalf("cold reads: %+v", st)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := p.Read("r", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.Stats(); st.Reads != 4 || st.Hits != 4 {
+		t.Fatalf("warm reads: %+v", st)
+	}
+	if st := p.Stats(); st.IO() != 4 {
+		t.Fatalf("IO = %d", st.IO())
+	}
+	if p.Resident() != 4 {
+		t.Fatalf("resident = %d", p.Resident())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s, _ := setup(t, 5, 2)
+	p, err := NewPool(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRead := func(i int) {
+		t.Helper()
+		if _, err := p.Read("r", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRead(0)
+	mustRead(1)
+	mustRead(2) // evicts page 0
+	if p.Cached("r", 0) {
+		t.Fatal("page 0 should be evicted")
+	}
+	if !p.Cached("r", 1) || !p.Cached("r", 2) {
+		t.Fatal("pages 1,2 should be resident")
+	}
+	mustRead(1) // refresh 1
+	mustRead(3) // evicts 2 (LRU), not 1
+	if p.Cached("r", 2) || !p.Cached("r", 1) {
+		t.Fatal("LRU order wrong")
+	}
+	if p.Resident() != 2 {
+		t.Fatalf("resident = %d", p.Resident())
+	}
+}
+
+// Sequential flooding: scanning n > capacity pages repeatedly gets no hits —
+// the behaviour that reproduces the nested-loop thrash regime.
+func TestSequentialFlooding(t *testing.T) {
+	s, _ := setup(t, 6, 2)
+	p, err := NewPool(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 6; i++ {
+			if _, err := p.Read("r", i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st := p.Stats(); st.Hits != 0 || st.Reads != 18 {
+		t.Fatalf("flooding should yield zero hits: %+v", st)
+	}
+}
+
+func TestAppendPageCountsWrite(t *testing.T) {
+	s, _ := setup(t, 1, 2)
+	tmp, err := s.NewTemp("t", []string{"k"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AppendPage(tmp.Name, []storage.Tuple{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Writes != 1 {
+		t.Fatalf("writes = %d", st.Writes)
+	}
+	// The appended page is cached: reading it back is a hit.
+	if _, err := p.Read(tmp.Name, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Hits != 1 || st.Reads != 0 {
+		t.Fatalf("write-through caching: %+v", st)
+	}
+	if err := p.AppendPage("absent", nil); err == nil {
+		t.Fatal("append to missing relation should fail")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	s, _ := setup(t, 3, 2)
+	p, err := NewPool(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Read("r", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Invalidate("r")
+	if p.Resident() != 0 {
+		t.Fatal("invalidate should drop all frames")
+	}
+	if _, err := p.Read("r", 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Reads != 4 {
+		t.Fatalf("re-read after invalidate should miss: %+v", st)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	s, _ := setup(t, 2, 2)
+	p, _ := NewPool(s, 2)
+	if _, err := p.Read("absent", 0); err == nil {
+		t.Fatal("missing relation")
+	}
+	if _, err := p.Read("r", 99); err == nil {
+		t.Fatal("bad page index")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	s, _ := setup(t, 2, 2)
+	p, _ := NewPool(s, 2)
+	if _, err := p.Read("r", 0); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetStats()
+	if st := p.Stats(); st.Reads != 0 || st.Hits != 0 || st.Writes != 0 {
+		t.Fatalf("reset failed: %+v", st)
+	}
+	// Cache content survives reset: next read is a hit.
+	if _, err := p.Read("r", 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Hits != 1 {
+		t.Fatalf("cache should survive reset: %+v", st)
+	}
+}

@@ -1,0 +1,391 @@
+package catalog
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v (tol %v)", msg, got, want, tol)
+	}
+}
+
+func col(name string, distinct, min, max float64) Column {
+	return Column{Name: name, Type: TypeInt, Distinct: distinct, Min: min, Max: max}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("", 10, 100); !errors.Is(err, ErrBadStats) {
+		t.Fatal("empty name should fail")
+	}
+	if _, err := NewTable("t", 0, 100); !errors.Is(err, ErrBadStats) {
+		t.Fatal("zero pages should fail")
+	}
+	if _, err := NewTable("t", 10, -1); !errors.Is(err, ErrBadStats) {
+		t.Fatal("negative rows should fail")
+	}
+	if _, err := NewTable("t", 10, 100, col("a", 0, 0, 1)); !errors.Is(err, ErrBadStats) {
+		t.Fatal("zero distinct should fail")
+	}
+	if _, err := NewTable("t", 10, 100, col("a", 5, 2, 1)); !errors.Is(err, ErrBadStats) {
+		t.Fatal("max<min should fail")
+	}
+	if _, err := NewTable("t", 10, 100, col("a", 5, 0, 9), col("a", 5, 0, 9)); !errors.Is(err, ErrDupColumn) {
+		t.Fatal("dup column should fail")
+	}
+	tab, err := NewTable("t", 10, 100, col("a", 5, 0, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, tab.TuplesPerPage(), 10, 1e-12, "tpp")
+	if _, err := tab.Column("missing"); !errors.Is(err, ErrNoColumn) {
+		t.Fatal("missing column should fail")
+	}
+	if got := len(tab.Columns()); got != 1 {
+		t.Fatalf("Columns len = %d", got)
+	}
+}
+
+func TestCatalogTablesAndIndexes(t *testing.T) {
+	c := New()
+	a := MustTable("a", 100, 1000, col("x", 100, 0, 999))
+	if err := c.AddTable(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(a); !errors.Is(err, ErrDupTable) {
+		t.Fatal("dup table should fail")
+	}
+	if !c.HasTable("a") || c.HasTable("zz") {
+		t.Fatal("HasTable wrong")
+	}
+	if _, err := c.Table("zz"); !errors.Is(err, ErrNoTable) {
+		t.Fatal("missing table should fail")
+	}
+
+	if err := c.AddIndex(Index{Name: "ix_ax", Table: "a", Column: "x", Height: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(Index{Name: "ix_ax", Table: "a", Column: "x"}); !errors.Is(err, ErrDupIndex) {
+		t.Fatal("dup index should fail")
+	}
+	if err := c.AddIndex(Index{Name: "ix2", Table: "zz", Column: "x"}); !errors.Is(err, ErrNoTable) {
+		t.Fatal("index on missing table should fail")
+	}
+	if err := c.AddIndex(Index{Name: "ix2", Table: "a", Column: "zz"}); !errors.Is(err, ErrNoColumn) {
+		t.Fatal("index on missing column should fail")
+	}
+	if err := c.AddIndex(Index{Name: "ix3", Table: "a", Column: "x", Height: -1}); !errors.Is(err, ErrBadStats) {
+		t.Fatal("negative height should fail")
+	}
+	if err := c.AddIndex(Index{Name: ""}); !errors.Is(err, ErrBadStats) {
+		t.Fatal("empty index name should fail")
+	}
+
+	ix, err := c.Index("ix_ax")
+	if err != nil || ix.Table != "a" {
+		t.Fatalf("Index lookup: %v %v", ix, err)
+	}
+	if _, err := c.Index("nope"); !errors.Is(err, ErrNoIndex) {
+		t.Fatal("missing index should fail")
+	}
+	if got := c.IndexesOn("a"); len(got) != 1 {
+		t.Fatalf("IndexesOn = %v", got)
+	}
+	if _, ok := c.IndexOn("a", "x"); !ok {
+		t.Fatal("IndexOn should find ix_ax")
+	}
+	if _, ok := c.IndexOn("a", "y"); ok {
+		t.Fatal("IndexOn should miss")
+	}
+
+	b := MustTable("b", 10, 50, col("y", 10, 0, 9))
+	if err := c.AddTable(b); err != nil {
+		t.Fatal(err)
+	}
+	names := c.TableNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("TableNames = %v", names)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram([]float64{0, 1}, nil); !errors.Is(err, ErrBadHist) {
+		t.Fatal("empty counts should fail")
+	}
+	if _, err := NewHistogram([]float64{0, 0}, []float64{1}); !errors.Is(err, ErrBadHist) {
+		t.Fatal("non-increasing bounds should fail")
+	}
+	if _, err := NewHistogram([]float64{0, 1}, []float64{-1}); !errors.Is(err, ErrBadHist) {
+		t.Fatal("negative count should fail")
+	}
+	if _, err := NewHistogram([]float64{0, 1}, []float64{0}); !errors.Is(err, ErrBadHist) {
+		t.Fatal("zero rows should fail")
+	}
+	if _, err := EquiWidthHistogram(5, 5, []float64{1}); !errors.Is(err, ErrBadHist) {
+		t.Fatal("empty range should fail")
+	}
+}
+
+func TestHistogramSelectivities(t *testing.T) {
+	// 4 equal-width buckets over [0,100), 25 rows each.
+	h, err := EquiWidthHistogram(0, 100, []float64{25, 25, 25, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() != 4 || h.Rows() != 100 {
+		t.Fatal("shape wrong")
+	}
+	approx(t, h.SelLE(-5), 0, 1e-12, "below domain")
+	approx(t, h.SelLE(100), 1, 1e-12, "at top")
+	approx(t, h.SelLE(50), 0.5, 1e-12, "midpoint")
+	approx(t, h.SelLE(12.5), 0.125, 1e-12, "within first bucket")
+	approx(t, h.SelRange(25, 75), 0.5, 1e-12, "middle half")
+	approx(t, h.SelRange(75, 25), 0, 1e-12, "empty range")
+	// Equality: bucket holds 25% of rows and 25% of the 50 distinct values.
+	approx(t, h.SelEq(30, 50), 0.25/12.5, 1e-12, "equality")
+	approx(t, h.SelEq(-1, 50), 0, 1e-12, "equality below domain")
+	approx(t, h.SelEq(30, 0), 0, 1e-12, "zero distinct")
+}
+
+func TestHistogramSkewed(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 10, 100}, []float64{90, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, h.SelLE(10), 0.9, 1e-12, "head bucket")
+	approx(t, h.SelLE(55), 0.9+0.1*0.5, 1e-12, "half of tail")
+	d := h.ToDist()
+	if d.Len() != 2 {
+		t.Fatal("ToDist buckets")
+	}
+	approx(t, d.Prob(0), 0.9, 1e-12, "ToDist head mass")
+	approx(t, d.Value(0), 5, 1e-12, "ToDist head center")
+}
+
+func TestEquiDepthFromSamples(t *testing.T) {
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = float64(i * i % 997) // deterministic scatter
+	}
+	h, err := EquiDepthFromSamples(samples, 10, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() == 0 || h.Buckets() > 10 {
+		t.Fatalf("buckets = %d", h.Buckets())
+	}
+	approx(t, h.Rows(), 50000, 1, "total rows scaled")
+	// Depth balance: each bucket within 3x of the ideal share.
+	ideal := 50000.0 / float64(h.Buckets())
+	for i, c := range h.Counts() {
+		if c > 3*ideal || c < ideal/3 {
+			t.Fatalf("bucket %d badly unbalanced: %v vs ideal %v", i, c, ideal)
+		}
+	}
+	if _, err := EquiDepthFromSamples(nil, 4, 100); !errors.Is(err, ErrBadHist) {
+		t.Fatal("no samples should fail")
+	}
+}
+
+func TestFilterSelectivity(t *testing.T) {
+	c := New()
+	hist, _ := EquiWidthHistogram(0, 100, []float64{50, 50})
+	tab := MustTable("t", 100, 1000,
+		Column{Name: "h", Type: TypeInt, Distinct: 100, Min: 0, Max: 100, Hist: hist},
+		col("plain", 20, 0, 99),
+	)
+	if err := c.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := c.FilterSelectivity("t", "h", OpLe, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s, 0.5, 1e-9, "hist <=")
+	s, _ = c.FilterSelectivity("t", "h", OpGt, 50)
+	approx(t, s, 0.5, 1e-9, "hist >")
+	s, _ = c.FilterSelectivity("t", "h", OpEq, 25)
+	approx(t, s, 0.5/50, 1e-9, "hist =")
+	sLT, _ := c.FilterSelectivity("t", "h", OpLt, 50)
+	sGE, _ := c.FilterSelectivity("t", "h", OpGe, 50)
+	approx(t, sLT+sGE, 1, 1e-9, "< and >= partition")
+
+	s, _ = c.FilterSelectivity("t", "plain", OpEq, 7)
+	approx(t, s, 1.0/20, 1e-9, "1/distinct fallback")
+	s, _ = c.FilterSelectivity("t", "plain", OpLt, 49.5)
+	approx(t, s, 0.5, 1e-9, "range fallback")
+	s, _ = c.FilterSelectivity("t", "plain", OpGe, -5)
+	approx(t, s, 1, 1e-9, "clamped high")
+
+	if _, err := c.FilterSelectivity("zz", "h", OpEq, 1); !errors.Is(err, ErrNoTable) {
+		t.Fatal("missing table")
+	}
+	if _, err := c.FilterSelectivity("t", "zz", OpEq, 1); !errors.Is(err, ErrNoColumn) {
+		t.Fatal("missing column")
+	}
+}
+
+func TestDegenerateDomainFallback(t *testing.T) {
+	c := New()
+	tab := MustTable("t", 10, 100, col("k", 1, 5, 5))
+	if err := c.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.FilterSelectivity("t", "k", OpLe, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s, 1, 1e-12, "point domain, v at point")
+	s, _ = c.FilterSelectivity("t", "k", OpLe, 4)
+	approx(t, s, 0, 1e-12, "point domain, v below")
+}
+
+func TestJoinSelectivities(t *testing.T) {
+	c := New()
+	a := MustTable("a", 1000, 100000, col("k", 50000, 0, 1e6))
+	b := MustTable("b", 400, 40000, col("k", 40000, 0, 1e6))
+	if err := c.AddTable(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(b); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.JoinRowSelectivity("a", "k", "b", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, rs, 1.0/50000, 1e-15, "1/max(V)")
+
+	// Page-scaled σ: outRows = rs·rowsA·rowsB; tpp = max(100,100) = 100;
+	// outPages = outRows/100; σ = outPages/(pagesA·pagesB).
+	ps, err := c.JoinPageSelectivity("a", "k", "b", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outRows := rs * 100000 * 40000
+	wantSigma := (outRows / 100) / (1000 * 400)
+	approx(t, ps, wantSigma, 1e-15, "page sigma")
+
+	// The defining property of σ: pagesOut = σ·|A|·|B|.
+	approx(t, ps*1000*400, outRows/100, 1e-9, "sigma reproduces pages")
+
+	if _, err := c.JoinRowSelectivity("zz", "k", "b", "k"); !errors.Is(err, ErrNoTable) {
+		t.Fatal("missing left table")
+	}
+	if _, err := c.JoinRowSelectivity("a", "zz", "b", "k"); !errors.Is(err, ErrNoColumn) {
+		t.Fatal("missing left column")
+	}
+	if _, err := c.JoinRowSelectivity("a", "k", "zz", "k"); !errors.Is(err, ErrNoTable) {
+		t.Fatal("missing right table")
+	}
+	if _, err := c.JoinRowSelectivity("a", "k", "b", "zz"); !errors.Is(err, ErrNoColumn) {
+		t.Fatal("missing right column")
+	}
+}
+
+func TestPageSelectivityEdgeCases(t *testing.T) {
+	if got := PageSelectivity(0.5, 10, 0, 10, 5); got != 0 {
+		t.Fatal("zero pages should yield 0")
+	}
+	if got := PageSelectivity(0, 100, 10, 100, 10); got != 0 {
+		t.Fatal("zero row sel should yield 0")
+	}
+}
+
+func TestSelectivityDist(t *testing.T) {
+	d, err := SelectivityDist(0.01, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	approx(t, d.Value(0), 0.0025, 1e-12, "low")
+	approx(t, d.Value(2), 0.04, 1e-12, "high")
+	approx(t, d.PrBetween(0.005, 0.02), 0.5, 1e-12, "center mass")
+
+	// Truncation at 1.
+	d, err = SelectivityDist(0.5, 4, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, d.Max(), 1, 1e-12, "truncated to 1")
+
+	p, err := SelectivityDist(0.3, 1, 0.9)
+	if err != nil || p.Len() != 1 {
+		t.Fatal("factor 1 should be a point")
+	}
+	if _, err := SelectivityDist(0, 2, 0.5); err == nil {
+		t.Fatal("zero point should fail")
+	}
+	if _, err := SelectivityDist(0.5, 0.5, 0.5); err == nil {
+		t.Fatal("factor<1 should fail")
+	}
+	if _, err := SelectivityDist(0.5, 2, 1.5); err == nil {
+		t.Fatal("bad pCenter should fail")
+	}
+}
+
+func TestSelLELaw(t *testing.T) {
+	h, err := EquiWidthHistogram(0, 100, []float64{25, 25, 25, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v = 30 sits in bucket (25,50]: below = 25 rows, bucket = 25 rows.
+	law, err := h.SelLELaw(30, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if law.Len() != 3 {
+		t.Fatalf("law = %v", law)
+	}
+	approx(t, law.Min(), 0.25, 1e-12, "sLo: bucket entirely above v")
+	approx(t, law.Max(), 0.50, 1e-12, "sHi: bucket entirely below v")
+	approx(t, law.Mean(), 0.5*0.3+0.25*(0.25+0.5), 1e-12, "mid-weighted mean")
+	// The point estimate sits inside the law's support.
+	point := h.SelLE(30)
+	if point < law.Min() || point > law.Max() {
+		t.Fatalf("point estimate %v outside law %v", point, law)
+	}
+
+	// Out-of-range values carry no uncertainty.
+	lo, err := h.SelLELaw(-5, 0.5)
+	if err != nil || lo.Len() != 1 || lo.Value(0) != 0 {
+		t.Fatalf("below range: %v %v", lo, err)
+	}
+	hi, err := h.SelLELaw(100, 0.5)
+	if err != nil || hi.Len() != 1 || hi.Value(0) != 1 {
+		t.Fatalf("at top: %v %v", hi, err)
+	}
+	if _, err := h.SelLELaw(30, 1.5); !errors.Is(err, ErrBadHist) {
+		t.Fatal("bad pCenter should fail")
+	}
+	// pCenter=1 collapses to the point estimate.
+	pt, err := h.SelLELaw(30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, pt.Mean(), point, 1e-12, "pCenter=1 mean")
+}
+
+func TestColumnTypeAndOpStrings(t *testing.T) {
+	if TypeInt.String() != "int" || TypeFloat.String() != "float" || TypeString.String() != "string" {
+		t.Fatal("type strings")
+	}
+	if ColumnType(99).String() == "" {
+		t.Fatal("unknown type string")
+	}
+	ops := map[CmpOp]string{OpEq: "=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="}
+	for op, s := range ops {
+		if op.String() != s {
+			t.Fatalf("op %d string = %q want %q", op, op.String(), s)
+		}
+	}
+	if CmpOp(99).String() == "" {
+		t.Fatal("unknown op string")
+	}
+}

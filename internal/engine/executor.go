@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lecopt/internal/buffer"
+	"lecopt/internal/cost"
+	"lecopt/internal/plan"
+	"lecopt/internal/storage"
+)
+
+// Executor errors.
+var (
+	ErrNotLeftDeep = errors.New("engine: executor requires a left-deep plan")
+	ErrNoRelation2 = errors.New("engine: plan references a relation not in the store")
+	ErrShortMems   = errors.New("engine: memory sequence shorter than plan phases")
+)
+
+// ExecResult is the outcome of executing a whole plan.
+type ExecResult struct {
+	Output *storage.Relation
+	Stats  buffer.Stats
+	// PhaseIO breaks the physical I/O down by execution phase.
+	PhaseIO []int64
+}
+
+// ExecutePlan runs a left-deep plan against the store, one join per phase
+// with the phase's memory budget, and returns the materialized result and
+// the measured physical I/O. Conventions match the analytic cost model:
+// each phase's join reads its inputs through a fresh pool of memSeq[phase]
+// pages (charged); intermediate results are materialized without charge
+// (the pipelined-to-consumer assumption) and the next phase pays to read
+// them. The root ORDER BY sort, if present, runs in the final phase.
+//
+// Scan leaves read base tables; filter predicates are not re-evaluated
+// here (the engine executes the physical shape — join order, methods,
+// sort — which is what the optimizer chose and what the I/O comparison
+// needs). Join columns are resolved by the plan's join edges: each join
+// node must carry left/right tables joined on a column named "k", the
+// convention of the storage generators; richer schemas use ExecuteSpec.
+func (e *Engine) ExecutePlan(p *plan.Node, memSeq []float64) (ExecResult, error) {
+	return e.executePlan(p, memSeq, "k")
+}
+
+// ExecutePlanOn is ExecutePlan with an explicit join column name shared by
+// all relations.
+func (e *Engine) ExecutePlanOn(p *plan.Node, memSeq []float64, joinCol string) (ExecResult, error) {
+	return e.executePlan(p, memSeq, joinCol)
+}
+
+func (e *Engine) executePlan(p *plan.Node, memSeq []float64, joinCol string) (ExecResult, error) {
+	if err := p.Validate(); err != nil {
+		return ExecResult{}, err
+	}
+	if !p.IsLeftDeep() {
+		return ExecResult{}, ErrNotLeftDeep
+	}
+	phases := p.Phases()
+	if len(memSeq) < phases {
+		return ExecResult{}, fmt.Errorf("%w: %d < %d", ErrShortMems, len(memSeq), phases)
+	}
+	ex := &executor{eng: e, memSeq: memSeq, joinCol: joinCol, phaseIO: make([]int64, phases)}
+	rel, err := ex.run(p)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return ExecResult{Output: rel, Stats: ex.total, PhaseIO: ex.phaseIO}, nil
+}
+
+type executor struct {
+	eng     *Engine
+	memSeq  []float64
+	joinCol string
+	total   buffer.Stats
+	phaseIO []int64
+	temps   []string
+}
+
+// run evaluates a subtree and returns its materialized relation. relCount
+// is tracked to map joins onto phases (a join covering k relations runs in
+// phase k-2).
+func (ex *executor) run(n *plan.Node) (*storage.Relation, error) {
+	rel, _, err := ex.eval(n)
+	if err != nil {
+		ex.cleanup()
+		return nil, err
+	}
+	// Drop all temporaries except the final output.
+	for _, t := range ex.temps {
+		if t != rel.Name {
+			ex.eng.store.Drop(t)
+		}
+	}
+	ex.temps = nil
+	return rel, nil
+}
+
+func (ex *executor) cleanup() {
+	for _, t := range ex.temps {
+		ex.eng.store.Drop(t)
+	}
+	ex.temps = nil
+}
+
+func (ex *executor) eval(n *plan.Node) (*storage.Relation, int, error) {
+	switch n.Kind {
+	case plan.KindScan:
+		rel, err := ex.eng.store.Get(n.Table)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: %s", ErrNoRelation2, n.Table)
+		}
+		return rel, 1, nil
+	case plan.KindSort:
+		child, k, err := ex.eval(n.Child)
+		if err != nil {
+			return nil, 0, err
+		}
+		phase := 0
+		if k >= 2 {
+			phase = k - 2
+		}
+		mem := int(ex.memSeq[phase])
+		if mem < 3 {
+			mem = 3
+		}
+		// In-memory sorts are free in the model; still read the input if
+		// it's a base table (already charged when it was a join output).
+		if child.NumPages() <= mem && n.Child.Kind != plan.KindScan {
+			sorted, err := ex.materializeSorted(child)
+			if err != nil {
+				return nil, 0, err
+			}
+			return sorted, k, nil
+		}
+		out, st, err := ex.eng.SortRelation(child.Name, ex.colFor(child), mem)
+		if err != nil {
+			return nil, 0, err
+		}
+		ex.charge(phase, st)
+		ex.temps = append(ex.temps, out.Name)
+		return out, k, nil
+	case plan.KindJoin:
+		left, kl, err := ex.eval(n.Left)
+		if err != nil {
+			return nil, 0, err
+		}
+		right, kr, err := ex.eval(n.Right)
+		if err != nil {
+			return nil, 0, err
+		}
+		k := kl + kr
+		phase := k - 2
+		mem := int(ex.memSeq[phase])
+		if mem < 3 {
+			mem = 3
+		}
+		out, st, err := ex.joinRels(n.Method, left, right, mem)
+		if err != nil {
+			return nil, 0, err
+		}
+		ex.charge(phase, st)
+		ex.temps = append(ex.temps, out.Name)
+		return out, k, nil
+	default:
+		return nil, 0, fmt.Errorf("engine: unknown plan node kind %v", n.Kind)
+	}
+}
+
+func (ex *executor) charge(phase int, st buffer.Stats) {
+	ex.total.Reads += st.Reads
+	ex.total.Writes += st.Writes
+	ex.total.Hits += st.Hits
+	if phase >= 0 && phase < len(ex.phaseIO) {
+		ex.phaseIO[phase] += st.IO()
+	}
+}
+
+// colFor returns the join column's name within a relation: base tables use
+// the configured join column; join outputs carry the outer side's column
+// first, prefixed "o.".
+func (ex *executor) colFor(rel *storage.Relation) string {
+	for _, c := range rel.Cols {
+		if c == ex.joinCol {
+			return c
+		}
+	}
+	// Join outputs qualify columns; prefer the outer-side key.
+	for _, c := range rel.Cols {
+		if c == "o."+ex.joinCol || c == "i."+ex.joinCol {
+			return c
+		}
+	}
+	// Fall back to the shortest qualified key ("o.o.k", ...).
+	suffix := "." + ex.joinCol
+	best := ""
+	for _, c := range rel.Cols {
+		if len(c) > len(suffix) && c[len(c)-len(suffix):] == suffix {
+			if best == "" || len(c) < len(best) {
+				best = c
+			}
+		}
+	}
+	if best != "" {
+		return best
+	}
+	return rel.Cols[0]
+}
+
+// joinRels dispatches a join between two materialized relations on the
+// configured key column.
+func (ex *executor) joinRels(method cost.JoinMethod, outer, inner *storage.Relation, mem int) (*storage.Relation, buffer.Stats, error) {
+	return ex.eng.Join(JoinSpec{
+		Method:   method,
+		Outer:    outer.Name,
+		Inner:    inner.Name,
+		OuterCol: ex.colFor(outer),
+		InnerCol: ex.colFor(inner),
+	}, mem)
+}
+
+// materializeSorted copies a relation sorted in memory (uncharged: the
+// model's "fits in memory" case).
+func (ex *executor) materializeSorted(rel *storage.Relation) (*storage.Relation, error) {
+	out, err := ex.eng.store.NewTemp("memsort", rel.Cols, rel.TuplesPerPage)
+	if err != nil {
+		return nil, err
+	}
+	ex.temps = append(ex.temps, out.Name)
+	all := rel.AllTuples()
+	ci, err := rel.ColIndex(ex.colFor(rel))
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i][ci] < all[j][ci] })
+	for _, t := range all {
+		if err := out.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

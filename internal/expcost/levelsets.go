@@ -1,0 +1,100 @@
+package expcost
+
+import (
+	"errors"
+	"sort"
+
+	"lecopt/internal/cost"
+	"lecopt/internal/dist"
+	"lecopt/internal/plan"
+)
+
+// ErrNilPlan is returned for nil plan inputs.
+var ErrNilPlan = errors.New("expcost: nil plan")
+
+// PlanBreakpoints returns the ascending memory values at which the whole
+// plan's static-memory cost C(P, m) changes — the union of every
+// operator's level-set boundaries (Section 3.7: "values of v that yield
+// C(P,v) = c are called a level set"). Between consecutive returned values
+// the plan's cost is constant. maxBlockBreaks caps the breakpoints
+// contributed by a BlockNL join (whose formula has one per outer-block
+// count); plans without BlockNL are unaffected.
+func PlanBreakpoints(p *plan.Node, maxBlockBreaks int) ([]float64, error) {
+	if p == nil {
+		return nil, ErrNilPlan
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	set := map[float64]bool{}
+	p.Walk(func(n *plan.Node) {
+		switch n.Kind {
+		case plan.KindJoin:
+			for _, b := range cost.JoinBreakpoints(n.Method, n.Left.OutPages, n.Right.OutPages, maxBlockBreaks) {
+				set[b] = true
+			}
+		case plan.KindSort:
+			for _, b := range cost.SortBreakpoints(n.Child.OutPages) {
+				set[b] = true
+			}
+		}
+	})
+	out := make([]float64, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Float64s(out)
+	return out, nil
+}
+
+// PlanECLevelSets computes E[C(P, M)] for a static memory law by
+// evaluating the plan's cost once per OCCUPIED level set instead of once
+// per support point: the Section 3.7 observation that "in principle, we
+// can compute EC(P) with ℓ evaluations of the cost function". The result
+// equals mem.ExpectF(p.CostAt) exactly (for plans without BlockNL, or with
+// BlockNL whose block counts stay within maxBlockBreaks), but the number
+// of cost evaluations is bounded by the number of level sets the law
+// actually touches — independent of the law's bucket count b.
+//
+// Returns the expected cost and the number of cost-function evaluations
+// performed.
+func PlanECLevelSets(p *plan.Node, mem dist.Dist, maxBlockBreaks int) (ec float64, evals int, err error) {
+	breaks, err := PlanBreakpoints(p, maxBlockBreaks)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Sweep the law's ascending support, grouping consecutive points that
+	// fall in the same level-set region. Regions are [breaks[i-1],
+	// breaks[i]): the breakpoints are "first value of the new regime".
+	bi := 0
+	regionMass := 0.0
+	var regionRep float64
+	haveRegion := false
+	flush := func() {
+		if haveRegion && regionMass > 0 {
+			ec += regionMass * p.CostAt(regionRep)
+			evals++
+		}
+		regionMass = 0
+		haveRegion = false
+	}
+	for i := 0; i < mem.Len(); i++ {
+		v := mem.Value(i)
+		// Advance the region pointer past all breakpoints ≤ v.
+		crossed := false
+		for bi < len(breaks) && breaks[bi] <= v {
+			bi++
+			crossed = true
+		}
+		if crossed {
+			flush()
+		}
+		if !haveRegion {
+			regionRep = v
+			haveRegion = true
+		}
+		regionMass += mem.Prob(i)
+	}
+	flush()
+	return ec, evals, nil
+}

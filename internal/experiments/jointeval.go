@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"lecopt/internal/cost"
+	"lecopt/internal/dist"
+	"lecopt/internal/optimizer"
+	"lecopt/internal/plan"
+	"lecopt/internal/query"
+)
+
+// jointEval computes the EXACT expected cost of a left-deep plan under
+// joint uncertainty: base-size laws per table, selectivity laws per join
+// edge and a memory law, all independent. It enumerates every realization
+// of the size/selectivity variables (exponential in their count — only for
+// small scenarios) and, per realization, derives each intermediate size
+// bottom-up and takes the expectation over memory. It is the oracle that
+// experiment E10 scores Algorithm D against, entirely independent of the
+// DP's incremental scoring and of the rebucketed propagation.
+type jointEval struct {
+	blk      *query.Block
+	sizeLaws map[string]dist.Dist // per-table filtered size (Point if absent)
+	selLaws  map[string]dist.Dist // per-EdgeKey selectivity (Point if absent)
+	mem      dist.Dist
+}
+
+// EC evaluates the plan.
+func (je *jointEval) EC(p *plan.Node) float64 {
+	tables, edges := je.variables(p)
+	total := 0.0
+	var rec func(i int, prob float64, sizes map[string]float64, sels map[string]float64)
+	rec = func(i int, prob float64, sizes map[string]float64, sels map[string]float64) {
+		if i < len(tables) {
+			law := je.sizeLaws[tables[i]]
+			for k := 0; k < law.Len(); k++ {
+				sizes[tables[i]] = law.Value(k)
+				rec(i+1, prob*law.Prob(k), sizes, sels)
+			}
+			return
+		}
+		ei := i - len(tables)
+		if ei < len(edges) {
+			law := je.selLaws[edges[ei]]
+			for k := 0; k < law.Len(); k++ {
+				sels[edges[ei]] = law.Value(k)
+				rec(i+1, prob*law.Prob(k), sizes, sels)
+			}
+			return
+		}
+		total += prob * je.costUnder(p, sizes, sels)
+	}
+	rec(0, 1, map[string]float64{}, map[string]float64{})
+	return total
+}
+
+// variables lists the plan's tables and the edge keys it can realize,
+// defaulting absent laws to point estimates taken from the plan's
+// annotations.
+func (je *jointEval) variables(p *plan.Node) (tables []string, edges []string) {
+	for _, t := range p.Relations() {
+		if _, ok := je.sizeLaws[t]; !ok {
+			je.sizeLaws[t] = dist.Point(leafPages(p, t))
+		}
+		tables = append(tables, t)
+	}
+	for _, j := range je.blk.Joins {
+		key := optimizer.EdgeKey(j)
+		if _, ok := je.selLaws[key]; !ok {
+			je.selLaws[key] = dist.Point(sigmaOf(je, j))
+		}
+		edges = append(edges, key)
+	}
+	return tables, edges
+}
+
+func leafPages(p *plan.Node, table string) float64 {
+	pages := 1.0
+	p.Walk(func(n *plan.Node) {
+		if n.Kind == plan.KindScan && n.Table == table {
+			pages = n.OutPages
+		}
+	})
+	return pages
+}
+
+// sigmaOf is only used when no selectivity law was provided; the caller's
+// scenarios always provide laws for the edges under study, so a neutral
+// estimate suffices for the remainder.
+func sigmaOf(_ *jointEval, _ query.Join) float64 { return 1 }
+
+// costUnder computes E_M[C(P, sizes, sels, M)] for one realization: walk
+// the tree computing realized intermediate sizes, then expectation over
+// memory of the sum of phase costs.
+func (je *jointEval) costUnder(p *plan.Node, sizes map[string]float64, sels map[string]float64) float64 {
+	type nodeCost struct {
+		pages float64
+		// perMem accumulates the join/sort cost as a function of memory;
+		// scans contribute constants.
+		constPart float64
+		memParts  []func(m float64) float64
+	}
+	var rec func(n *plan.Node) nodeCost
+	rec = func(n *plan.Node) nodeCost {
+		switch n.Kind {
+		case plan.KindScan:
+			io := n.IO
+			if io <= 0 {
+				io = cost.ScanIO(n.BasePages())
+			}
+			return nodeCost{pages: sizes[n.Table], constPart: io}
+		case plan.KindSort:
+			child := rec(n.Child)
+			pages := child.pages
+			child.memParts = append(child.memParts, func(m float64) float64 {
+				return cost.SortIO(pages, m)
+			})
+			return child
+		default: // join
+			l := rec(n.Left)
+			r := rec(n.Right)
+			sigma := je.sigmaBetween(n, sels)
+			out := l.pages * r.pages * sigma
+			if out < 1 {
+				out = 1
+			}
+			lp, rp := l.pages, r.pages
+			method := n.Method
+			parts := append(l.memParts, r.memParts...)
+			parts = append(parts, func(m float64) float64 {
+				return cost.JoinIO(method, lp, rp, m)
+			})
+			return nodeCost{pages: out, constPart: l.constPart + r.constPart, memParts: parts}
+		}
+	}
+	nc := rec(p)
+	return nc.constPart + je.mem.ExpectF(func(m float64) float64 {
+		s := 0.0
+		for _, f := range nc.memParts {
+			s += f(m)
+		}
+		return s
+	})
+}
+
+// sigmaBetween multiplies the realized selectivities of every edge between
+// the join's right table and the left subtree's tables.
+func (je *jointEval) sigmaBetween(n *plan.Node, sels map[string]float64) float64 {
+	rightTables := map[string]bool{}
+	for _, t := range n.Right.Relations() {
+		rightTables[t] = true
+	}
+	leftTables := map[string]bool{}
+	for _, t := range n.Left.Relations() {
+		leftTables[t] = true
+	}
+	s := 1.0
+	for _, j := range je.blk.Joins {
+		lT, rT := j.Left.Table, j.Right.Table
+		spans := (leftTables[lT] && rightTables[rT]) || (leftTables[rT] && rightTables[lT])
+		if spans {
+			s *= sels[optimizer.EdgeKey(j)]
+		}
+	}
+	return s
+}

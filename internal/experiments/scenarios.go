@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"lecopt/internal/catalog"
+	"lecopt/internal/cost"
+	"lecopt/internal/optimizer"
+	"lecopt/internal/query"
+)
+
+// Example11 builds the paper's motivating scenario: A = 1,000,000 pages,
+// B = 400,000 pages, join result ≈ 3,000 pages, result ordered by the
+// join column. The join key's distinct count is reverse-engineered so the
+// catalog's standard 1/max(V) estimator reproduces the paper's posited
+// 3,000-page result.
+func Example11() (*catalog.Catalog, *query.Block, error) {
+	cat := catalog.New()
+	v := 4e13 / 3000.0
+	a := catalog.MustTable("A", 1_000_000, 100_000_000,
+		catalog.Column{Name: "k", Type: catalog.TypeInt, Distinct: v, Min: 0, Max: 1e12})
+	b := catalog.MustTable("B", 400_000, 40_000_000,
+		catalog.Column{Name: "k", Type: catalog.TypeInt, Distinct: 1000, Min: 0, Max: 1e12})
+	if err := cat.AddTable(a); err != nil {
+		return nil, nil, err
+	}
+	if err := cat.AddTable(b); err != nil {
+		return nil, nil, err
+	}
+	blk := &query.Block{
+		Tables:  []string{"A", "B"},
+		Joins:   []query.Join{{Left: query.ColRef{Table: "A", Column: "k"}, Right: query.ColRef{Table: "B", Column: "k"}}},
+		OrderBy: &query.ColRef{Table: "A", Column: "k"},
+	}
+	if err := blk.Validate(cat); err != nil {
+		return nil, nil, err
+	}
+	return cat, blk, nil
+}
+
+// Example11Opts restricts the plan space to the paper's two join methods
+// so the optimizer's choice is exactly "Plan 1 vs Plan 2".
+func Example11Opts() optimizer.Options {
+	return optimizer.Options{Methods: []cost.JoinMethod{cost.SortMerge, cost.GraceHash}}
+}

@@ -1,0 +1,442 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"lecopt/internal/catalog"
+	"lecopt/internal/cost"
+	"lecopt/internal/dist"
+	"lecopt/internal/expcost"
+	"lecopt/internal/plan"
+	"lecopt/internal/query"
+)
+
+// LSC computes the classical least-specific-cost left-deep plan for one
+// fixed memory value — the System R baseline of Theorem 2.1. Current
+// optimizers run this at the mean or modal memory value.
+func LSC(cat *catalog.Catalog, blk *query.Block, opts Options, mem float64) (Result, error) {
+	c, err := prepare(cat, blk, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.dpBest(pointScorer{mem})
+}
+
+// AlgorithmC computes the LEC left-deep plan for a static memory law
+// (Section 3.4, Theorem 3.3): the System R DP run over expected costs.
+func AlgorithmC(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.Dist) (Result, error) {
+	c, err := prepare(cat, blk, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.dpBest(lawScorer{staticLaws(mem, c.n)})
+}
+
+// AlgorithmCDynamic computes the LEC left-deep plan when memory evolves
+// between phases as a Markov chain (Section 3.5, Theorem 3.4): phase i is
+// costed under the i-step law of the chain from the initial distribution.
+func AlgorithmCDynamic(cat *catalog.Catalog, blk *query.Block, opts Options, init dist.Dist, chain *dist.Chain) (Result, error) {
+	c, err := prepare(cat, blk, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	laws, err := chain.PhaseLaws(init, lastPhase(c.n)+1)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.dpBest(lawScorer{laws})
+}
+
+// AlgorithmA treats a standard optimizer as a black box (Section 3.2): run
+// LSC once per memory bucket, then pick the candidate with least expected
+// cost under the full law. Its plan is never worse in expectation than the
+// plan LSC finds at the law's mean or mode (both are bucket representatives
+// or dominated by one), but it can miss the true LEC plan.
+func AlgorithmA(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.Dist) (Result, error) {
+	c, err := prepare(cat, blk, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	laws := staticLaws(mem, c.n)
+	type cand struct {
+		res Result
+		ec  float64
+	}
+	seen := map[string]bool{}
+	var cands []cand
+	consider := func(m float64) error {
+		r, err := c.dpBest(pointScorer{m})
+		if err != nil {
+			return err
+		}
+		sig := r.Plan.Signature()
+		if seen[sig] {
+			return nil
+		}
+		seen[sig] = true
+		ec, err := ExpectedCost(r.Plan, laws)
+		if err != nil {
+			return err
+		}
+		cands = append(cands, cand{r, ec})
+		return nil
+	}
+	for i := 0; i < mem.Len(); i++ {
+		if err := consider(mem.Value(i)); err != nil {
+			return Result{}, err
+		}
+	}
+	// The paper notes the traditional expected value can be assumed to be
+	// among the candidates "without loss of generality"; include it so the
+	// dominance guarantee versus mean-LSC holds by construction.
+	if err := consider(mem.Mean()); err != nil {
+		return Result{}, err
+	}
+	best := -1
+	for i := range cands {
+		if best < 0 || better(cands[i].ec, cands[i].res.Plan.Signature(),
+			cands[best].ec, cands[best].res.Plan.Signature()) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Result{}, ErrNoPlan
+	}
+	return Result{Plan: cands[best].res.Plan, EC: cands[best].ec, Candidates: len(cands)}, nil
+}
+
+// AlgorithmB generalizes Algorithm A by generating the top-c plans per
+// memory bucket with a modified System R pass (Section 3.3), using the
+// Proposition 3.1 frontier to combine candidate lists, then selecting the
+// least-expected-cost candidate.
+func AlgorithmB(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.Dist, c int) (Result, error) {
+	if c < 1 {
+		return Result{}, fmt.Errorf("%w: top-c requires c ≥ 1, got %d", ErrBadOpts, c)
+	}
+	cx, err := prepare(cat, blk, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	laws := staticLaws(mem, cx.n)
+	type cand struct {
+		e  entry
+		ec float64
+	}
+	seen := map[string]bool{}
+	var cands []cand
+	probes := 0
+	consider := func(m float64) error {
+		tops, pr, err := cx.dpTopC(pointScorer{m}, c)
+		if err != nil {
+			return err
+		}
+		probes += pr
+		for _, e := range tops {
+			sig := e.node.Signature()
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			ec, err := ExpectedCost(e.node, laws)
+			if err != nil {
+				return err
+			}
+			cands = append(cands, cand{e, ec})
+		}
+		return nil
+	}
+	for i := 0; i < mem.Len(); i++ {
+		if err := consider(mem.Value(i)); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := consider(mem.Mean()); err != nil {
+		return Result{}, err
+	}
+	best := -1
+	for i := range cands {
+		if best < 0 || better(cands[i].ec, cands[i].e.node.Signature(),
+			cands[best].ec, cands[best].e.node.Signature()) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Result{}, ErrNoPlan
+	}
+	return Result{Plan: cands[best].e.node, EC: cands[best].ec, Candidates: len(cands), Probes: probes}, nil
+}
+
+// dpTopC is the Algorithm B inner pass: System R keeping the top-c entries
+// per (subset, order-slot) at a fixed parameter point, combining lists via
+// the Proposition 3.1 frontier. Returns the completed root candidates
+// (enforcer applied) and the total pair probes.
+func (c *ctx) dpTopC(s scorer, topC int) ([]entry, int, error) {
+	full := fullMask(c.n)
+	dp := make([][2]*topList, full+1)
+	slot := func(mask uint64, sl int) *topList {
+		if dp[mask][sl] == nil {
+			dp[mask][sl] = newTopList(topC)
+		}
+		return dp[mask][sl]
+	}
+	for j := 0; j < c.n; j++ {
+		for _, e := range c.leafEntries(c.tables[j]) {
+			slot(1<<uint(j), c.slotOf(e.order)).add(e)
+		}
+	}
+	probes := 0
+	for size := 2; size <= c.n; size++ {
+		for mask := uint64(1); mask <= full; mask++ {
+			if bits.OnesCount64(mask) != size {
+				continue
+			}
+			phase := phaseOfMask(mask)
+			for _, j := range c.candidates(mask) {
+				bit := uint64(1) << uint(j)
+				rest := mask &^ bit
+				sigma := c.sigmaBetween(j, rest)
+				for ls := 0; ls < 2; ls++ {
+					left := dp[rest][ls]
+					if left == nil || len(left.entries) == 0 {
+						continue
+					}
+					for rs := 0; rs < 2; rs++ {
+						right := dp[bit][rs]
+						if right == nil || len(right.entries) == 0 {
+							continue
+						}
+						for _, m := range c.opts.Methods {
+							// All variants in a list share identical
+							// physical properties (same pages), so the
+							// join cost is a constant per method and the
+							// frontier applies to score sums.
+							jc := s.joinScore(m, left.entries[0].pages, right.entries[0].pages, phase)
+							pairs, pr := TopCCombine(left.scores(), right.scores(), topC)
+							probes += pr
+							for _, p := range pairs {
+								le, re := left.entries[p[0]], right.entries[p[1]]
+								outPages := c.clampPages(le.pages * re.pages * sigma)
+								order := c.joinOutputOrder(m, j, rest, le.order)
+								node := plan.NewJoin(m, le.node, re.node, outPages, order)
+								e := entry{node: node, score: le.score + re.score + jc, pages: outPages, order: order}
+								slot(mask, c.slotOf(order)).add(e)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	var out []entry
+	phase := lastPhase(c.n)
+	for sl := 0; sl < 2; sl++ {
+		l := dp[full][sl]
+		if l == nil {
+			continue
+		}
+		for _, e := range l.entries {
+			cand := e
+			if c.blk.OrderBy != nil && sl == 0 {
+				cand.score += s.sortScore(e.pages, phase)
+				cand.node = plan.NewSort(e.node, c.requiredOrder())
+				cand.order = c.requiredOrder()
+			}
+			out = append(out, cand)
+		}
+	}
+	if len(out) == 0 {
+		return nil, probes, ErrNoPlan
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return better(out[a].score, out[a].node.Signature(), out[b].score, out[b].node.Signature())
+	})
+	if len(out) > topC {
+		out = out[:topC]
+	}
+	return out, probes, nil
+}
+
+// AlgorithmD computes the LEC plan under joint uncertainty in memory,
+// base-relation sizes and join selectivities (Section 3.6). Each DP node
+// carries exactly the four distributions of Figure 1 — Pr(M) (global),
+// Pr(|Bj|) (propagated result sizes), Pr(|Aj|) (base sizes) and Pr(σ) —
+// and propagates the result-size law with Section 3.6.3 rebucketing.
+// selLaws maps EdgeKey(join) to a selectivity law; sizeLaws maps table
+// name to a filtered-size law. Missing entries use point estimates.
+func AlgorithmD(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.Dist,
+	selLaws map[string]dist.Dist, sizeLaws map[string]dist.Dist) (Result, error) {
+	c, err := prepare(cat, blk, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	c.setSelLaws(selLaws)
+	c.setSizeLaws(sizeLaws)
+	return c.dpDist(mem)
+}
+
+// distEntry extends entry with the node's size law.
+type distEntry struct {
+	entry
+	law dist.Dist
+}
+
+// dpDist is the Algorithm D dynamic program.
+func (c *ctx) dpDist(mem dist.Dist) (Result, error) {
+	full := fullMask(c.n)
+	dp := make([][2]*distEntry, full+1)
+	keep := func(mask uint64, e distEntry) {
+		sl := c.slotOf(e.order)
+		cur := dp[mask][sl]
+		if cur == nil || better(e.score, e.node.Signature(), cur.score, cur.node.Signature()) {
+			ec := e
+			dp[mask][sl] = &ec
+		}
+	}
+	for j := 0; j < c.n; j++ {
+		ti := c.tables[j]
+		for _, e := range c.leafEntries(ti) {
+			keep(1<<uint(j), distEntry{entry: e, law: ti.sizeLaw})
+		}
+	}
+	for size := 2; size <= c.n; size++ {
+		for mask := uint64(1); mask <= full; mask++ {
+			if bits.OnesCount64(mask) != size {
+				continue
+			}
+			for _, j := range c.candidates(mask) {
+				bit := uint64(1) << uint(j)
+				rest := mask &^ bit
+				sigmaLaw := c.sigmaLawBetween(j, rest)
+				for _, left := range dp[rest] {
+					if left == nil {
+						continue
+					}
+					for _, right := range dp[bit] {
+						if right == nil {
+							continue
+						}
+						outLaw, err := expcost.ResultSizeDist(left.law, right.law, sigmaLaw, c.opts.SizeBuckets)
+						if err != nil {
+							return Result{}, err
+						}
+						outLaw = outLaw.Map(c.clampPages)
+						for _, m := range c.opts.Methods {
+							jc := expcost.JoinEC(m, left.law, right.law, mem)
+							outPages := outLaw.Mean()
+							order := c.joinOutputOrder(m, j, rest, left.order)
+							node := plan.NewJoin(m, left.node, right.node, outPages, order)
+							keep(mask, distEntry{
+								entry: entry{node: node, score: left.score + right.score + jc, pages: outPages, order: order},
+								law:   outLaw,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	// Root completion with an expected-cost enforcer over the size law.
+	var best *distEntry
+	bestSig := ""
+	for sl, e := range dp[full] {
+		if e == nil {
+			continue
+		}
+		cand := *e
+		if c.blk.OrderBy != nil && sl == 0 {
+			cand.score += expcost.SortEC(e.law, mem)
+			cand.node = plan.NewSort(e.node, c.requiredOrder())
+			cand.order = c.requiredOrder()
+		}
+		sig := cand.node.Signature()
+		if best == nil || better(cand.score, sig, best.score, bestSig) {
+			cc := cand
+			best, bestSig = &cc, sig
+		}
+	}
+	if best == nil {
+		return Result{}, ErrNoPlan
+	}
+	if err := checkFinite(best.score); err != nil {
+		return Result{}, err
+	}
+	return Result{Plan: best.node, EC: best.score, Candidates: 1}, nil
+}
+
+// ExpectedCost evaluates EC(P) = Σ_phase E[cost_phase(M_phase)] for an
+// annotated plan under per-phase memory laws (laws[i] is the marginal law
+// of memory in phase i; pass a single-element slice for a static law —
+// it is repeated for later phases). Scan costs are memory-independent.
+func ExpectedCost(p *plan.Node, laws []dist.Dist) (float64, error) {
+	if len(laws) == 0 {
+		return 0, ErrLawsShort
+	}
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	lawAt := func(phase int) dist.Dist {
+		if phase >= len(laws) {
+			phase = len(laws) - 1
+		}
+		return laws[phase]
+	}
+	total := 0.0
+	var rec func(n *plan.Node) (int, error)
+	rec = func(n *plan.Node) (int, error) {
+		switch n.Kind {
+		case plan.KindScan:
+			total += scanIOOf(n)
+			return 1, nil
+		case plan.KindSort:
+			k, err := rec(n.Child)
+			if err != nil {
+				return 0, err
+			}
+			phase := 0
+			if k >= 2 {
+				phase = k - 2
+			}
+			total += lawAt(phase).ExpectF(func(m float64) float64 {
+				return cost.SortIO(n.Child.OutPages, m)
+			})
+			return k, nil
+		default: // join
+			kl, err := rec(n.Left)
+			if err != nil {
+				return 0, err
+			}
+			kr, err := rec(n.Right)
+			if err != nil {
+				return 0, err
+			}
+			k := kl + kr
+			total += lawAt(k - 2).ExpectF(func(m float64) float64 {
+				return cost.JoinIO(n.Method, n.Left.OutPages, n.Right.OutPages, m)
+			})
+			return k, nil
+		}
+	}
+	if _, err := rec(p); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+func scanIOOf(n *plan.Node) float64 {
+	if n.IO > 0 {
+		return n.IO
+	}
+	return cost.ScanIO(n.BasePages())
+}
+
+// PhaseLawsFor builds the per-phase laws for an n-relation query: the
+// static law repeated, or the chain's i-step marginals when dynamic.
+func PhaseLawsFor(n int, static dist.Dist, chain *dist.Chain) ([]dist.Dist, error) {
+	k := lastPhase(n) + 1
+	if chain == nil {
+		return staticLaws(static, n), nil
+	}
+	return chain.PhaseLaws(static, k)
+}

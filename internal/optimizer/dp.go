@@ -1,0 +1,195 @@
+package optimizer
+
+import (
+	"math/bits"
+
+	"lecopt/internal/cost"
+	"lecopt/internal/dist"
+	"lecopt/internal/plan"
+)
+
+// scorer abstracts how a join or sort is costed in one execution phase —
+// the only difference between the LSC dynamic program (point costs,
+// Theorem 2.1) and Algorithm C (expected costs, Theorem 3.3/3.4).
+type scorer interface {
+	joinScore(method cost.JoinMethod, outer, inner float64, phase int) float64
+	sortScore(pages float64, phase int) float64
+}
+
+// pointScorer costs at one fixed memory value: the classical optimizer.
+type pointScorer struct{ mem float64 }
+
+func (s pointScorer) joinScore(m cost.JoinMethod, outer, inner float64, _ int) float64 {
+	return cost.JoinIO(m, outer, inner, s.mem)
+}
+
+func (s pointScorer) sortScore(pages float64, _ int) float64 {
+	return cost.SortIO(pages, s.mem)
+}
+
+// lawScorer costs in expectation under a per-phase memory law. With a
+// single repeated law it is Algorithm C's static case; with Markov
+// phase laws it is the Section 3.5 dynamic case. Expectation distributes
+// over the plan's phase-cost sum, which is exactly why the DP argument of
+// Theorem 3.3 carries over (Theorem 3.4).
+type lawScorer struct{ laws []dist.Dist }
+
+func (s lawScorer) law(phase int) dist.Dist {
+	if phase >= len(s.laws) {
+		phase = len(s.laws) - 1
+	}
+	return s.laws[phase]
+}
+
+func (s lawScorer) joinScore(m cost.JoinMethod, outer, inner float64, phase int) float64 {
+	return s.law(phase).ExpectF(func(mem float64) float64 {
+		return cost.JoinIO(m, outer, inner, mem)
+	})
+}
+
+func (s lawScorer) sortScore(pages float64, phase int) float64 {
+	return s.law(phase).ExpectF(func(mem float64) float64 {
+		return cost.SortIO(pages, mem)
+	})
+}
+
+// staticLaws replicates one law across all phases of an n-relation plan.
+func staticLaws(law dist.Dist, n int) []dist.Dist {
+	k := lastPhase(n) + 1
+	laws := make([]dist.Dist, k)
+	for i := range laws {
+		laws[i] = law
+	}
+	return laws
+}
+
+// entry is one retained subplan at a DP node.
+type entry struct {
+	node  *plan.Node
+	score float64
+	pages float64
+	order plan.Order
+}
+
+// slotOf maps an order property to a DP slot: 1 when it satisfies the
+// query's ORDER BY, 0 otherwise. Keeping the best plan per slot is the
+// light-weight version of System R's "interesting orders" that our cost
+// model needs (joins sort their own inputs, so order can only matter at
+// the root).
+func (c *ctx) slotOf(o plan.Order) int {
+	if c.blk.OrderBy != nil && c.satisfiesOrderBy(o) {
+		return 1
+	}
+	return 0
+}
+
+// joinOutputOrder returns the order property of a join's output: sort-merge
+// imposes its join-column order; nested-loop variants stream the outer and
+// preserve its order; hash joins destroy order.
+func (c *ctx) joinOutputOrder(method cost.JoinMethod, j int, leftMask uint64, leftOrder plan.Order) plan.Order {
+	switch method {
+	case cost.SortMerge:
+		return c.joinOrder(method, j, leftMask)
+	case cost.PageNL, cost.BlockNL:
+		return leftOrder
+	default:
+		return plan.Order{}
+	}
+}
+
+// leafEntries builds the access-path entries for one table.
+func (c *ctx) leafEntries(ti *tableInfo) []entry {
+	out := make([]entry, 0, len(ti.accesses))
+	for _, ac := range ti.accesses {
+		out = append(out, entry{node: ac.node, score: ac.io, pages: ti.pages, order: ac.order})
+	}
+	return out
+}
+
+// dpBest is the System R bottom-up dynamic program, keeping the best entry
+// per (subset, order-slot). With a pointScorer it computes the LSC
+// left-deep plan (Theorem 2.1); with a lawScorer it is Algorithm C and
+// computes the LEC left-deep plan (Theorems 3.3/3.4).
+func (c *ctx) dpBest(s scorer) (Result, error) {
+	full := fullMask(c.n)
+	dp := make([][2]*entry, full+1)
+
+	keep := func(mask uint64, e entry) {
+		slot := c.slotOf(e.order)
+		cur := dp[mask][slot]
+		if cur == nil || better(e.score, e.node.Signature(), cur.score, cur.node.Signature()) {
+			ec := e
+			dp[mask][slot] = &ec
+		}
+	}
+
+	for j := 0; j < c.n; j++ {
+		for _, e := range c.leafEntries(c.tables[j]) {
+			keep(1<<uint(j), e)
+		}
+	}
+
+	for size := 2; size <= c.n; size++ {
+		for mask := uint64(1); mask <= full; mask++ {
+			if bits.OnesCount64(mask) != size {
+				continue
+			}
+			phase := phaseOfMask(mask)
+			for _, j := range c.candidates(mask) {
+				bit := uint64(1) << uint(j)
+				rest := mask &^ bit
+				sigma := c.sigmaBetween(j, rest)
+				for _, left := range dp[rest] {
+					if left == nil {
+						continue
+					}
+					for _, right := range dp[bit] {
+						if right == nil {
+							continue
+						}
+						for _, m := range c.opts.Methods {
+							jc := s.joinScore(m, left.pages, right.pages, phase)
+							score := left.score + right.score + jc
+							outPages := c.clampPages(left.pages * right.pages * sigma)
+							order := c.joinOutputOrder(m, j, rest, left.order)
+							node := plan.NewJoin(m, left.node, right.node, outPages, order)
+							keep(mask, entry{node: node, score: score, pages: outPages, order: order})
+						}
+					}
+				}
+			}
+		}
+	}
+	return c.finishRoot(dp[full], s)
+}
+
+// finishRoot applies the ORDER BY enforcer where needed and returns the
+// cheapest completed plan.
+func (c *ctx) finishRoot(slots [2]*entry, s scorer) (Result, error) {
+	var best *entry
+	bestSig := ""
+	phase := lastPhase(c.n)
+	for slot, e := range slots {
+		if e == nil {
+			continue
+		}
+		cand := *e
+		if c.blk.OrderBy != nil && slot == 0 {
+			cand.score += s.sortScore(e.pages, phase)
+			cand.node = plan.NewSort(e.node, c.requiredOrder())
+			cand.order = c.requiredOrder()
+		}
+		sig := cand.node.Signature()
+		if best == nil || better(cand.score, sig, best.score, bestSig) {
+			cc := cand
+			best, bestSig = &cc, sig
+		}
+	}
+	if best == nil {
+		return Result{}, ErrNoPlan
+	}
+	if err := checkFinite(best.score); err != nil {
+		return Result{}, err
+	}
+	return Result{Plan: best.node, EC: best.score, Candidates: 1}, nil
+}

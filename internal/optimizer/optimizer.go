@@ -1,0 +1,445 @@
+// Package optimizer implements the paper's query optimization algorithms
+// over left-deep plans (Chu, Halpern, Seshadri, PODS 1999):
+//
+//   - LSC: the classical System R bottom-up dynamic program at one fixed
+//     parameter point (Theorem 2.1) — the baseline every LEC variant is
+//     measured against.
+//   - Algorithm A (§3.2): LSC as a black box, run once per memory bucket;
+//     candidates re-costed in expectation.
+//   - Algorithm B (§3.3): top-c System R using the Proposition 3.1
+//     frontier to combine candidate lists.
+//   - Algorithm C (§3.4/§3.5): the LEC dynamic program over expected
+//     costs, with static or Markov (per-phase) memory laws.
+//   - Algorithm D (§3.6): multi-parameter LEC with per-node size
+//     distributions and selectivity laws, propagating the result-size
+//     distribution (Figure 1).
+//   - Exhaustive: a brute-force left-deep enumerator used as a
+//     correctness oracle for Theorems 2.1, 3.3 and 3.4.
+//
+// Plan-space conventions follow the paper: binary joins, left-deep trees
+// only, one join per execution phase, cross products only when the join
+// graph leaves no alternative. Order properties are tracked for the
+// query's ORDER BY column so a final sort enforcer is costed inside the
+// DP (our cost formulas sort inputs internally, so intermediate
+// "interesting orders" cannot change join costs; see DESIGN.md).
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"lecopt/internal/catalog"
+	"lecopt/internal/cost"
+	"lecopt/internal/dist"
+	"lecopt/internal/plan"
+	"lecopt/internal/query"
+)
+
+// Errors.
+var (
+	ErrNoPlan    = errors.New("optimizer: no plan found")
+	ErrBadOpts   = errors.New("optimizer: invalid options")
+	ErrLawsShort = errors.New("optimizer: not enough per-phase laws")
+)
+
+// Options tunes the plan space every algorithm searches.
+type Options struct {
+	// Methods are the join algorithms considered; defaults to
+	// cost.PaperMethods (sort-merge, grace hash, page nested-loop).
+	Methods []cost.JoinMethod
+	// DisableIndexes drops index access paths (heap scans only).
+	DisableIndexes bool
+	// MinPages floors every size estimate; defaults to 1 page.
+	MinPages float64
+	// SizeBuckets caps the per-node result-size distribution in
+	// Algorithm D (Section 3.6.3 rebucketing); defaults to 27.
+	SizeBuckets int
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Methods) == 0 {
+		o.Methods = cost.PaperMethods
+	}
+	if o.MinPages <= 0 {
+		o.MinPages = 1
+	}
+	if o.SizeBuckets <= 0 {
+		o.SizeBuckets = 27
+	}
+	return o
+}
+
+// Result is an optimization outcome.
+type Result struct {
+	Plan *plan.Node
+	// EC is the score under which the plan was selected: the point cost
+	// for LSC, the expected cost for the LEC algorithms.
+	EC float64
+	// Candidates is the number of complete plans the algorithm compared
+	// at the final selection step (1 for pure DP algorithms).
+	Candidates int
+	// Probes counts candidate-pair combinations examined by the
+	// Proposition 3.1 frontier (Algorithm B only).
+	Probes int
+}
+
+// EdgeKey canonically names a join edge for selectivity-law maps:
+// "a.x=b.y" with the lexicographically smaller side first.
+func EdgeKey(j query.Join) string {
+	l, r := j.Left.String(), j.Right.String()
+	if l > r {
+		l, r = r, l
+	}
+	return l + "=" + r
+}
+
+// --- prepared optimization context --------------------------------------
+
+type accessCand struct {
+	node  *plan.Node
+	io    float64
+	order plan.Order
+}
+
+type tableInfo struct {
+	name     string
+	idx      int
+	sel      float64 // combined local-filter selectivity
+	pages    float64 // estimated pages after filters (point)
+	accesses []accessCand
+	sizeLaw  dist.Dist // law of filtered size; Point(pages) by default
+}
+
+type ctx struct {
+	cat       *catalog.Catalog
+	blk       *query.Block
+	opts      Options
+	n         int
+	tables    []*tableInfo
+	sigma     [][]float64         // pairwise page-selectivity product (1 if no edge)
+	edge      [][]bool            // join-graph adjacency
+	sigmaD    [][]dist.Dist       // per-pair selectivity laws (zero Dist ⇒ Point(sigma))
+	orderCols map[plan.Order]bool // orders that satisfy the query's ORDER BY
+}
+
+// prepare validates the block and precomputes per-table and per-pair
+// statistics shared by every algorithm.
+func prepare(cat *catalog.Catalog, blk *query.Block, opts Options) (*ctx, error) {
+	opts = opts.withDefaults()
+	if err := blk.Validate(cat); err != nil {
+		return nil, err
+	}
+	c := &ctx{
+		cat:  cat,
+		blk:  blk,
+		opts: opts,
+		n:    len(blk.Tables),
+	}
+	c.orderCols = map[plan.Order]bool{}
+	if blk.OrderBy != nil {
+		c.orderCols[plan.Order{Table: blk.OrderBy.Table, Column: blk.OrderBy.Column}] = true
+		// Any column equi-joined (transitively, through the final plan)
+		// to the ORDER BY column is equivalent for ordering purposes; we
+		// credit direct join partners, which covers the common case of
+		// ordering by the join key.
+		for _, j := range blk.Joins {
+			if j.Left.Table == blk.OrderBy.Table && j.Left.Column == blk.OrderBy.Column {
+				c.orderCols[plan.Order{Table: j.Right.Table, Column: j.Right.Column}] = true
+			}
+			if j.Right.Table == blk.OrderBy.Table && j.Right.Column == blk.OrderBy.Column {
+				c.orderCols[plan.Order{Table: j.Left.Table, Column: j.Left.Column}] = true
+			}
+		}
+	}
+	for i, name := range blk.Tables {
+		ti, err := c.prepareTable(name, i)
+		if err != nil {
+			return nil, err
+		}
+		c.tables = append(c.tables, ti)
+	}
+	if err := c.preparePairs(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *ctx) prepareTable(name string, idx int) (*tableInfo, error) {
+	t, err := c.cat.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	ti := &tableInfo{name: name, idx: idx, sel: 1}
+	for _, f := range c.blk.FiltersOn(name) {
+		s, err := c.cat.FilterSelectivity(name, f.Col.Column, f.Op, f.Value)
+		if err != nil {
+			return nil, err
+		}
+		ti.sel *= s
+	}
+	ti.pages = c.clampPages(ti.sel * t.Pages)
+	ti.sizeLaw = dist.Point(ti.pages)
+
+	// Heap scan: read every base page, filter on the fly.
+	heap := plan.NewScan(name, plan.AccessHeap, "", ti.sel, ti.pages)
+	heap.IO = cost.ScanIO(t.Pages)
+	ti.accesses = append(ti.accesses, accessCand{node: heap, io: heap.IO})
+
+	if c.opts.DisableIndexes {
+		return ti, nil
+	}
+	for _, ix := range c.cat.IndexesOn(name) {
+		// Selectivity achieved through this index: the product of the
+		// filters on the indexed column.
+		ixSel := 1.0
+		matched := false
+		for _, f := range c.blk.FiltersOn(name) {
+			if f.Col.Column != ix.Column {
+				continue
+			}
+			s, err := c.cat.FilterSelectivity(name, f.Col.Column, f.Op, f.Value)
+			if err != nil {
+				return nil, err
+			}
+			ixSel *= s
+			matched = true
+		}
+		ord := plan.Order{Table: name, Column: ix.Column}
+		interesting := c.orderCols[ord]
+		if !matched && !interesting {
+			continue // the index neither filters nor orders usefully
+		}
+		io := cost.IndexScanIO(ix.Height, ixSel, t.Pages, t.Rows, ix.Clustered)
+		node := plan.NewScan(name, plan.AccessIndex, ix.Name, ti.sel, ti.pages)
+		node.IO = io
+		node.OutOrder = ord
+		ti.accesses = append(ti.accesses, accessCand{node: node, io: io, order: ord})
+	}
+	return ti, nil
+}
+
+func (c *ctx) preparePairs() error {
+	n := c.n
+	c.sigma = make([][]float64, n)
+	c.edge = make([][]bool, n)
+	c.sigmaD = make([][]dist.Dist, n)
+	for i := range c.sigma {
+		c.sigma[i] = make([]float64, n)
+		c.edge[i] = make([]bool, n)
+		c.sigmaD[i] = make([]dist.Dist, n)
+		for j := range c.sigma[i] {
+			c.sigma[i][j] = 1
+		}
+	}
+	for _, j := range c.blk.Joins {
+		li := c.blk.TableIndex(j.Left.Table)
+		ri := c.blk.TableIndex(j.Right.Table)
+		s, err := c.cat.JoinPageSelectivity(j.Left.Table, j.Left.Column, j.Right.Table, j.Right.Column)
+		if err != nil {
+			return err
+		}
+		c.sigma[li][ri] *= s
+		c.sigma[ri][li] *= s
+		c.edge[li][ri] = true
+		c.edge[ri][li] = true
+	}
+	return nil
+}
+
+// setSelLaws installs per-edge selectivity laws (Algorithm D). Keys are
+// EdgeKey strings; missing edges keep their point estimates.
+func (c *ctx) setSelLaws(laws map[string]dist.Dist) {
+	if len(laws) == 0 {
+		return
+	}
+	for _, j := range c.blk.Joins {
+		law, ok := laws[EdgeKey(j)]
+		if !ok || law.IsZero() {
+			continue
+		}
+		li := c.blk.TableIndex(j.Left.Table)
+		ri := c.blk.TableIndex(j.Right.Table)
+		cur := c.sigmaD[li][ri]
+		if cur.IsZero() {
+			c.sigmaD[li][ri] = law
+		} else {
+			c.sigmaD[li][ri] = dist.Combine2(cur, law, func(x, y float64) float64 { return x * y })
+		}
+		c.sigmaD[ri][li] = c.sigmaD[li][ri]
+	}
+}
+
+// setSizeLaws installs per-table filtered-size laws (Algorithm D).
+func (c *ctx) setSizeLaws(laws map[string]dist.Dist) {
+	for _, ti := range c.tables {
+		if law, ok := laws[ti.name]; ok && !law.IsZero() {
+			ti.sizeLaw = law.Map(c.clampPages)
+			ti.pages = ti.sizeLaw.Mean()
+			for _, ac := range ti.accesses {
+				ac.node.OutPages = ti.pages
+			}
+		}
+	}
+}
+
+func (c *ctx) clampPages(p float64) float64 {
+	if p < c.opts.MinPages {
+		return c.opts.MinPages
+	}
+	return p
+}
+
+// sigmaBetween returns the point page-selectivity product joining table j
+// against every table in mask.
+func (c *ctx) sigmaBetween(j int, mask uint64) float64 {
+	s := 1.0
+	for i := 0; i < c.n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			s *= c.sigma[i][j]
+		}
+	}
+	return s
+}
+
+// sigmaLawBetween returns the selectivity law joining table j against
+// mask: the product of per-pair laws, using point laws where no
+// distribution was installed.
+func (c *ctx) sigmaLawBetween(j int, mask uint64) dist.Dist {
+	law := dist.Point(1)
+	for i := 0; i < c.n; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		pair := c.sigmaD[i][j]
+		if pair.IsZero() {
+			pair = dist.Point(c.sigma[i][j])
+		}
+		law = dist.Combine2(law, pair, func(x, y float64) float64 { return x * y })
+	}
+	return law
+}
+
+// connects reports whether table j has a join edge into mask.
+func (c *ctx) connects(j int, mask uint64) bool {
+	for i := 0; i < c.n; i++ {
+		if mask&(1<<uint(i)) != 0 && c.edge[i][j] {
+			return true
+		}
+	}
+	return false
+}
+
+// candidates returns the tables j in mask eligible as the last join input
+// for mask: those connected to the rest, falling back to all members when
+// the remainder is unreachable (forced cross product, §2.2's "trivially
+// true predicate").
+func (c *ctx) candidates(mask uint64) []int {
+	var connected, all []int
+	for j := 0; j < c.n; j++ {
+		bit := uint64(1) << uint(j)
+		if mask&bit == 0 {
+			continue
+		}
+		all = append(all, j)
+		rest := mask &^ bit
+		if rest == 0 || c.connects(j, rest) {
+			connected = append(connected, j)
+		}
+	}
+	if len(connected) > 0 {
+		return connected
+	}
+	return all
+}
+
+// isCandidate reports whether table j is an eligible last join input for
+// mask (j must be a member). Shared by the DP and the exhaustive oracle so
+// both search the identical plan space.
+func (c *ctx) isCandidate(j int, mask uint64) bool {
+	for _, cand := range c.candidates(mask) {
+		if cand == j {
+			return true
+		}
+	}
+	return false
+}
+
+// joinOrder returns the output order property of joining left (covering
+// leftMask) with table j via method, reduced to "satisfies ORDER BY or
+// not": sort-merge output is sorted on its join columns, so if any edge
+// column between j and leftMask matches an ORDER BY-equivalent column the
+// plan satisfies the requirement.
+func (c *ctx) joinOrder(method cost.JoinMethod, j int, leftMask uint64) plan.Order {
+	if !method.OrdersOutput() || c.blk.OrderBy == nil {
+		return plan.Order{}
+	}
+	for _, e := range c.blk.JoinsBetween(c.blk.Tables[j], leftMask) {
+		side, _ := e.Side(c.blk.Tables[j])
+		other, _ := e.Other(c.blk.Tables[j])
+		for _, col := range []query.ColRef{side, other} {
+			o := plan.Order{Table: col.Table, Column: col.Column}
+			if c.orderCols[o] {
+				return plan.Order{Table: c.blk.OrderBy.Table, Column: c.blk.OrderBy.Column}
+			}
+		}
+	}
+	return plan.Order{}
+}
+
+// satisfiesOrderBy reports whether an order property meets the block's
+// ORDER BY requirement.
+func (c *ctx) satisfiesOrderBy(o plan.Order) bool {
+	if c.blk.OrderBy == nil {
+		return true
+	}
+	if o.IsNone() {
+		return false
+	}
+	return c.orderCols[o]
+}
+
+// requiredOrder returns the ORDER BY as a plan.Order (zero if none).
+func (c *ctx) requiredOrder() plan.Order {
+	if c.blk.OrderBy == nil {
+		return plan.Order{}
+	}
+	return plan.Order{Table: c.blk.OrderBy.Table, Column: c.blk.OrderBy.Column}
+}
+
+// phaseOfMask returns the execution phase of the join that completes mask.
+func phaseOfMask(mask uint64) int {
+	k := bits.OnesCount64(mask)
+	if k < 2 {
+		return 0
+	}
+	return k - 2
+}
+
+// lastPhase returns the final phase index of an n-relation plan.
+func lastPhase(n int) int {
+	if n < 2 {
+		return 0
+	}
+	return n - 2
+}
+
+// fullMask returns the bitmask covering all n tables.
+func fullMask(n int) uint64 { return (1 << uint(n)) - 1 }
+
+// better reports strictly lower score with a deterministic tie-break on
+// plan signature so optimizer output is reproducible.
+func better(score float64, sig string, bestScore float64, bestSig string) bool {
+	if score != bestScore {
+		return score < bestScore
+	}
+	return sig < bestSig
+}
+
+func checkFinite(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w: non-finite score", ErrNoPlan)
+	}
+	return nil
+}

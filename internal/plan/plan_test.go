@@ -1,0 +1,244 @@
+package plan
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"lecopt/internal/cost"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+// twoWay builds Join(method, Scan(a), Scan(b)) with given page sizes.
+func twoWay(method cost.JoinMethod, aPages, bPages, outPages float64) *Node {
+	a := NewScan("a", AccessHeap, "", 1, aPages)
+	b := NewScan("b", AccessHeap, "", 1, bPages)
+	var ord Order
+	if method.OrdersOutput() {
+		ord = Order{Table: "a", Column: "k"}
+	}
+	return NewJoin(method, a, b, outPages, ord)
+}
+
+func TestValidate(t *testing.T) {
+	var nilNode *Node
+	if err := nilNode.Validate(); !errors.Is(err, ErrNilNode) {
+		t.Fatal("nil should fail")
+	}
+	if err := (&Node{Kind: KindScan}).Validate(); !errors.Is(err, ErrShape) {
+		t.Fatal("scan without table should fail")
+	}
+	bad := NewScan("a", AccessHeap, "", 1, 10)
+	bad.Child = NewScan("b", AccessHeap, "", 1, 10)
+	if err := bad.Validate(); !errors.Is(err, ErrShape) {
+		t.Fatal("scan with child should fail")
+	}
+	if err := (&Node{Kind: KindJoin}).Validate(); !errors.Is(err, ErrShape) {
+		t.Fatal("join without inputs should fail")
+	}
+	if err := (&Node{Kind: KindSort}).Validate(); !errors.Is(err, ErrShape) {
+		t.Fatal("sort without child should fail")
+	}
+	if err := (&Node{Kind: Kind(9), Table: "x"}).Validate(); !errors.Is(err, ErrShape) {
+		t.Fatal("unknown kind should fail")
+	}
+	good := twoWay(cost.SortMerge, 100, 40, 10)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsLeftDeep(t *testing.T) {
+	j2 := twoWay(cost.GraceHash, 100, 40, 10)
+	if !j2.IsLeftDeep() {
+		t.Fatal("two-way join is left-deep")
+	}
+	c := NewScan("c", AccessHeap, "", 1, 5)
+	j3 := NewJoin(cost.PageNL, j2, c, 3, Order{})
+	if !j3.IsLeftDeep() {
+		t.Fatal("left-deep three-way")
+	}
+	bushy := NewJoin(cost.PageNL, j2, twoWay(cost.PageNL, 7, 8, 2), 1, Order{})
+	if bushy.IsLeftDeep() {
+		t.Fatal("bushy plan misclassified")
+	}
+	sorted := NewSort(j3, Order{"a", "k"})
+	if !sorted.IsLeftDeep() {
+		t.Fatal("sort on top preserves left-deep")
+	}
+	// Sort wrapping the right scan input stays left-deep.
+	j := NewJoin(cost.SortMerge, j2, NewSort(c, Order{"c", "k"}), 2, Order{})
+	if !j.IsLeftDeep() {
+		t.Fatal("sorted right scan input is still left-deep")
+	}
+}
+
+func TestRelationsJoinsPhases(t *testing.T) {
+	j2 := twoWay(cost.SortMerge, 100, 40, 10)
+	c := NewScan("c", AccessHeap, "", 1, 5)
+	j3 := NewJoin(cost.GraceHash, j2, c, 3, Order{})
+	rel := j3.Relations()
+	if len(rel) != 3 || rel[0] != "a" || rel[1] != "b" || rel[2] != "c" {
+		t.Fatalf("Relations = %v", rel)
+	}
+	if j3.Joins() != 2 || j3.Phases() != 2 {
+		t.Fatalf("Joins=%d Phases=%d", j3.Joins(), j3.Phases())
+	}
+	scan := NewScan("a", AccessHeap, "", 1, 10)
+	if scan.Phases() != 1 {
+		t.Fatal("bare scan is one phase")
+	}
+}
+
+func TestCostAtTwoWay(t *testing.T) {
+	// Scan a (100) + scan b (40) + sort-merge join.
+	p := twoWay(cost.SortMerge, 100, 40, 10)
+	m := 50.0 // > √100 → 2 passes
+	want := 100 + 40 + 2*(100+40)
+	approx(t, p.CostAt(m), float64(want), 1e-9, "two-way cost")
+}
+
+func TestCostAtRespectsFilterSelectivity(t *testing.T) {
+	// Heap scan with sel=0.1: reads all base pages (out/sel), outputs 10.
+	s := NewScan("a", AccessHeap, "", 0.1, 10)
+	approx(t, s.BasePages(), 100, 1e-9, "base pages")
+	approx(t, s.CostAt(1000), 100, 1e-9, "scan reads base pages")
+	// Index scan with explicit IO annotation uses it.
+	ix := NewScan("a", AccessIndex, "ix_a", 0.1, 10)
+	ix.IO = 12
+	approx(t, ix.CostAt(1000), 12, 1e-9, "index scan uses annotated IO")
+}
+
+func TestCostSeqPhases(t *testing.T) {
+	// ((a ⋈SM b) ⋈GH c): phase 0 = SM join + scans a,b; phase 1 = GH join + scan c.
+	j2 := twoWay(cost.SortMerge, 100, 40, 20)
+	c := NewScan("c", AccessHeap, "", 1, 30)
+	j3 := NewJoin(cost.GraceHash, j2, c, 5, Order{})
+
+	// Memory 50 in phase 0 (SM: √100=10 < 50 → 2(140)=280)
+	// memory 3 in phase 1 (GH: min(20,30)=20, ∛20≈2.71 < 3 ≤ √20≈4.47 → 4·50=200).
+	got, err := j3.CostSeq(SliceMem{50, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100.0 + 40 + 280 + 30 + 200
+	approx(t, got, want, 1e-9, "per-phase costing")
+
+	// Same per-phase memories but swapped: the cost must differ because
+	// phases see different formulas.
+	got2, err := j3.CostSeq(SliceMem{3, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 == got {
+		t.Fatal("phase assignment must matter")
+	}
+	// SM at 3 (∛100≈4.64 ≥ 3 → 6·140=840), GH at 50 (>√20 → 2·50=100).
+	approx(t, got2, 100+40+840+30+100, 1e-9, "swapped phases")
+
+	// Short memory sequence errors out.
+	if _, err := j3.CostSeq(SliceMem{50}); !errors.Is(err, ErrPhaseMem) {
+		t.Fatal("short sequence should fail")
+	}
+}
+
+func TestCostSeqSortEnforcer(t *testing.T) {
+	j2 := twoWay(cost.GraceHash, 100, 40, 30)
+	root := NewSort(j2, Order{"a", "k"})
+	// Phase 0 memory 20: GH (√40≈6.3 < 20 → 2·140=280), sort 30 pages
+	// (30 > 20, √30≈5.5 < 20 → 2·30=60).
+	got, err := root.CostSeq(SliceMem{20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, got, 100+40+280+60, 1e-9, "enforcer sort costed in its phase")
+	// Sort over a bare scan uses phase 0.
+	s := NewSort(NewScan("a", AccessHeap, "", 1, 100), Order{"a", "k"})
+	got, err = s.CostSeq(SliceMem{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// scan 100 + sort 100 at mem 8 (∛100≈4.6 < 8 ≤ 10 → 4·100).
+	approx(t, got, 100+400, 1e-9, "sort over scan")
+}
+
+func TestCostAtInvalidPlanIsNaN(t *testing.T) {
+	bad := &Node{Kind: KindJoin}
+	if !math.IsNaN(bad.CostAt(10)) {
+		t.Fatal("invalid plan should cost NaN")
+	}
+}
+
+func TestSignatureAndString(t *testing.T) {
+	j2 := twoWay(cost.SortMerge, 100, 40, 10)
+	sig := j2.Signature()
+	if sig != "(a sort-merge b)" {
+		t.Fatalf("Signature = %q", sig)
+	}
+	c := NewScan("c", AccessIndex, "ix_c", 0.5, 5)
+	j3 := NewJoin(cost.GraceHash, j2, c, 3, Order{})
+	root := NewSort(j3, Order{"a", "k"})
+	sig = root.Signature()
+	want := "sort<a.k>(((a sort-merge b) grace-hash c[ix:ix_c]))"
+	if sig != want {
+		t.Fatalf("Signature = %q, want %q", sig, want)
+	}
+	s := root.String()
+	for _, frag := range []string{"Sort[a.k]", "Join[grace-hash]", "Scan(c, index:ix_c)", "Scan(a, heap)"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String missing %q in:\n%s", frag, s)
+		}
+	}
+}
+
+func TestOrderProps(t *testing.T) {
+	var none Order
+	if !none.IsNone() || none.String() != "none" {
+		t.Fatal("zero order")
+	}
+	o := Order{"a", "k"}
+	if o.IsNone() || o.String() != "a.k" {
+		t.Fatal("order string")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	j2 := twoWay(cost.SortMerge, 100, 40, 10)
+	c := j2.Clone()
+	c.Left.Table = "zz"
+	c.Method = cost.PageNL
+	if j2.Left.Table != "a" || j2.Method != cost.SortMerge {
+		t.Fatal("clone aliased original")
+	}
+	var nilNode *Node
+	if nilNode.Clone() != nil {
+		t.Fatal("nil clone")
+	}
+}
+
+func TestKindAndAccessStrings(t *testing.T) {
+	if KindScan.String() != "scan" || KindJoin.String() != "join" || KindSort.String() != "sort" {
+		t.Fatal("kind strings")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind string")
+	}
+	if AccessHeap.String() != "heap" || AccessIndex.String() != "index" {
+		t.Fatal("access strings")
+	}
+}
+
+func TestConstMem(t *testing.T) {
+	m := ConstMem(42)
+	v, err := m.MemAt(17)
+	if err != nil || v != 42 {
+		t.Fatal("ConstMem wrong")
+	}
+}

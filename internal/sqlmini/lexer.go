@@ -1,0 +1,115 @@
+// Package sqlmini parses a small SQL subset into query blocks — enough to
+// express the SELECT-PROJECT-JOIN blocks the optimizer works on:
+//
+//	SELECT * FROM a, b, c
+//	WHERE a.k = b.k AND b.k = c.k AND a.v < 100
+//	ORDER BY a.k
+//
+// Keywords are case-insensitive. Join predicates are equalities between
+// two qualified columns; filters compare a qualified column with a numeric
+// literal using =, <, <=, > or >=.
+package sqlmini
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexing/parsing errors wrap ErrSyntax.
+var ErrSyntax = errors.New("sqlmini: syntax error")
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokComma
+	tokDot
+	tokStar
+	tokOp // = < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < n && input[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		case unicode.IsDigit(c):
+			j := i
+			seenDot := false
+			for j < n {
+				cj := rune(input[j])
+				if unicode.IsDigit(cj) {
+					j++
+					continue
+				}
+				if cj == '.' && !seenDot && j+1 < n && unicode.IsDigit(rune(input[j+1])) {
+					seenDot = true
+					j++
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("%w: unexpected character %q at offset %d", ErrSyntax, c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+// isKeyword reports whether an identifier token equals the keyword
+// (case-insensitive).
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

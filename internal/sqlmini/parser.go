@@ -1,0 +1,222 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+
+	"lecopt/internal/catalog"
+	"lecopt/internal/query"
+)
+
+// Parse parses one SELECT statement into a query block. The block is
+// purely syntactic; validate it against a catalog with block.Validate.
+func Parse(input string) (*query.Block, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	blk, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.peek().isKeyword("") && p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input starting at %s", p.peek())
+	}
+	return blk, nil
+}
+
+// MustParse is Parse but panics on error (static queries in examples).
+func MustParse(input string) *query.Block {
+	blk, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return blk
+}
+
+// ParseAndValidate parses and validates against a catalog in one step.
+func ParseAndValidate(input string, cat *catalog.Catalog) (*query.Block, error) {
+	blk, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	if err := blk.Validate(cat); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSyntax, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.peek().isKeyword(kw) {
+		return p.errf("expected %s, found %s", kw, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) selectStmt() (*query.Block, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokStar {
+		return nil, p.errf("only SELECT * is supported, found %s", p.peek())
+	}
+	p.next()
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	blk := &query.Block{}
+	for {
+		t := p.next()
+		if t.kind != tokIdent || isReserved(t.text) {
+			return nil, p.errf("expected table name, found %s", t)
+		}
+		blk.Tables = append(blk.Tables, t.text)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.peek().isKeyword("where") {
+		p.next()
+		for {
+			if err := p.conjunct(blk); err != nil {
+				return nil, err
+			}
+			if p.peek().isKeyword("and") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().isKeyword("order") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		col, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().isKeyword("asc") {
+			p.next()
+		}
+		blk.OrderBy = &col
+	}
+	return blk, nil
+}
+
+// conjunct parses one predicate: either colref = colref (join) or
+// colref op number (filter).
+func (p *parser) conjunct(blk *query.Block) error {
+	left, err := p.colRef()
+	if err != nil {
+		return err
+	}
+	op := p.next()
+	if op.kind != tokOp {
+		return p.errf("expected comparison operator, found %s", op)
+	}
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		if op.text != "=" {
+			return p.errf("join predicates must use =, found %q", op.text)
+		}
+		right, err := p.colRef()
+		if err != nil {
+			return err
+		}
+		blk.Joins = append(blk.Joins, query.Join{Left: left, Right: right})
+		return nil
+	case tokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return p.errf("bad number %q", t.text)
+		}
+		cmp, err := cmpOp(op.text)
+		if err != nil {
+			return err
+		}
+		blk.Filters = append(blk.Filters, query.Filter{Col: left, Op: cmp, Value: v})
+		return nil
+	default:
+		return p.errf("expected column or number after operator, found %s", t)
+	}
+}
+
+func (p *parser) colRef() (query.ColRef, error) {
+	tbl := p.next()
+	if tbl.kind != tokIdent || isReserved(tbl.text) {
+		return query.ColRef{}, p.errf("expected table name, found %s", tbl)
+	}
+	if p.peek().kind != tokDot {
+		return query.ColRef{}, p.errf("expected '.' after %q (columns must be qualified)", tbl.text)
+	}
+	p.next()
+	col := p.next()
+	if col.kind != tokIdent {
+		return query.ColRef{}, p.errf("expected column name, found %s", col)
+	}
+	return query.ColRef{Table: tbl.text, Column: col.text}, nil
+}
+
+func cmpOp(s string) (catalog.CmpOp, error) {
+	switch s {
+	case "=":
+		return catalog.OpEq, nil
+	case "<":
+		return catalog.OpLt, nil
+	case "<=":
+		return catalog.OpLe, nil
+	case ">":
+		return catalog.OpGt, nil
+	case ">=":
+		return catalog.OpGe, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown operator %q", ErrSyntax, s)
+	}
+}
+
+func isReserved(s string) bool {
+	switch {
+	case equalFold(s, "select"), equalFold(s, "from"), equalFold(s, "where"),
+		equalFold(s, "and"), equalFold(s, "order"), equalFold(s, "by"), equalFold(s, "asc"):
+		return true
+	}
+	return false
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

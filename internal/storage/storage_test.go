@@ -1,0 +1,180 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestNewRelationValidation(t *testing.T) {
+	if _, err := NewRelation("", []string{"a"}, 4); !errors.Is(err, ErrBadSchema) {
+		t.Fatal("empty name")
+	}
+	if _, err := NewRelation("r", nil, 4); !errors.Is(err, ErrBadSchema) {
+		t.Fatal("no columns")
+	}
+	if _, err := NewRelation("r", []string{"a"}, 0); !errors.Is(err, ErrBadSchema) {
+		t.Fatal("zero tpp")
+	}
+	if _, err := NewRelation("r", []string{"a", "a"}, 4); !errors.Is(err, ErrBadSchema) {
+		t.Fatal("dup column")
+	}
+	if _, err := NewRelation("r", []string{""}, 4); !errors.Is(err, ErrBadSchema) {
+		t.Fatal("empty column")
+	}
+}
+
+func TestAppendAndPaging(t *testing.T) {
+	r, err := NewRelation("r", []string{"k", "v"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if err := r.Append(Tuple{i, i * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.NumPages() != 4 || r.NumTuples() != 10 {
+		t.Fatalf("pages=%d tuples=%d", r.NumPages(), r.NumTuples())
+	}
+	p, err := r.Page(3)
+	if err != nil || len(p) != 1 {
+		t.Fatalf("last page: %v %v", p, err)
+	}
+	if _, err := r.Page(4); !errors.Is(err, ErrBadPage) {
+		t.Fatal("out of range")
+	}
+	if _, err := r.Page(-1); !errors.Is(err, ErrBadPage) {
+		t.Fatal("negative index")
+	}
+	if err := r.Append(Tuple{1}); !errors.Is(err, ErrBadSchema) {
+		t.Fatal("wrong width tuple")
+	}
+	ci, err := r.ColIndex("v")
+	if err != nil || ci != 1 {
+		t.Fatalf("ColIndex: %d %v", ci, err)
+	}
+	if _, err := r.ColIndex("zz"); !errors.Is(err, ErrNoColumn) {
+		t.Fatal("missing column")
+	}
+}
+
+func TestAppendPage(t *testing.T) {
+	r, _ := NewRelation("r", []string{"k"}, 2)
+	if err := r.AppendPage([]Tuple{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AppendPage([]Tuple{{1}, {2}, {3}}); !errors.Is(err, ErrBadSchema) {
+		t.Fatal("oversized page")
+	}
+	if err := r.AppendPage([]Tuple{{1, 2}}); !errors.Is(err, ErrBadSchema) {
+		t.Fatal("wrong width in page")
+	}
+	if r.NumPages() != 1 {
+		t.Fatal("page count")
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	a := Tuple{1, 2}
+	b := a.Clone()
+	b[0] = 9
+	if a[0] != 1 {
+		t.Fatal("clone aliased")
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	r, _ := NewRelation("r", []string{"k"}, 2)
+	if err := s.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(r); !errors.Is(err, ErrDupRelation) {
+		t.Fatal("dup add")
+	}
+	got, err := s.Get("r")
+	if err != nil || got != r {
+		t.Fatal("get")
+	}
+	if _, err := s.Get("zz"); !errors.Is(err, ErrNoRelation) {
+		t.Fatal("missing")
+	}
+	t1, err := s.NewTemp("tmp", []string{"k"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.NewTemp("tmp", []string{"k"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Name == t2.Name {
+		t.Fatal("temp names must be unique")
+	}
+	names := s.Names()
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	s.Drop(t1.Name)
+	if _, err := s.Get(t1.Name); err == nil {
+		t.Fatal("dropped relation still present")
+	}
+	s.Drop("absent") // no-op
+}
+
+func TestGenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rel, err := Generate(GenSpec{Name: "g", Pages: 10, TuplesPerPage: 8, KeyRange: 100, PayloadCols: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumPages() != 10 || rel.NumTuples() != 80 {
+		t.Fatalf("pages=%d tuples=%d", rel.NumPages(), rel.NumTuples())
+	}
+	if len(rel.Cols) != 3 || rel.Cols[0] != "k" || rel.Cols[1] != "p0" {
+		t.Fatalf("cols = %v", rel.Cols)
+	}
+	for _, tp := range rel.AllTuples() {
+		if tp[0] < 0 || tp[0] >= 100 {
+			t.Fatalf("key out of range: %d", tp[0])
+		}
+	}
+	if _, err := Generate(GenSpec{Name: "g2", Pages: 0, TuplesPerPage: 8, KeyRange: 10}, rng); !errors.Is(err, ErrBadSchema) {
+		t.Fatal("zero pages should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{Name: "g", Pages: 5, TuplesPerPage: 4, KeyRange: 50}
+	a, err := Generate(spec, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, bt := a.AllTuples(), b.AllTuples()
+	for i := range at {
+		if at[i][0] != bt[i][0] {
+			t.Fatal("same seed must generate same data")
+		}
+	}
+}
+
+func TestGenerateSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rel, err := GenerateSorted(GenSpec{Name: "s", Pages: 6, TuplesPerPage: 5, KeyRange: 40}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := rel.AllTuples()
+	for i := 1; i < len(all); i++ {
+		if all[i][0] < all[i-1][0] {
+			t.Fatal("not sorted")
+		}
+	}
+	if rel.NumTuples() != 30 {
+		t.Fatal("tuple count changed")
+	}
+}

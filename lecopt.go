@@ -1,0 +1,123 @@
+// Package lecopt is a least-expected-cost (LEC) query optimizer library —
+// a from-scratch Go reproduction of "Least Expected Cost Query
+// Optimization: An Exercise in Utility" (Chu, Halpern, Seshadri, PODS
+// 1999).
+//
+// Classical System R optimizers cost plans at a single point estimate of
+// each run-time parameter (the least-specific-cost, LSC, plan). This
+// library instead models parameters — available buffer memory, relation
+// sizes, predicate selectivities — as probability distributions and finds
+// the plan of least expected cost. It implements all four of the paper's
+// algorithms (A, B, C, D), the dynamic-memory Markov extension, the
+// linear-time expected-cost formulas of Section 3.6, the bucketing
+// strategies of Section 3.7, plus every substrate they need: a catalog
+// with histograms, a mini SQL parser, the System R baseline, an analytic
+// cost model, and a page-level execution engine with a buffer pool that
+// validates the model's shape.
+//
+// Quick start (the paper's Example 1.1):
+//
+//	mem, _ := lecopt.Bimodal(700, 2000, 0.2) // pages: 700 w.p. 0.2, 2000 w.p. 0.8
+//	sc := &lecopt.Scenario{Cat: cat, Query: blk, Env: lecopt.Env{Mem: mem}}
+//	classical, _ := sc.Optimize(lecopt.AlgLSCMode) // picks sort-merge
+//	lec, _ := sc.Optimize(lecopt.AlgC)             // picks grace-hash + sort
+//	fmt.Println(lec.EC < classical.EC)             // true
+//
+// See the examples/ directory for runnable programs and DESIGN.md /
+// EXPERIMENTS.md for the reproduction methodology.
+package lecopt
+
+import (
+	"lecopt/internal/catalog"
+	"lecopt/internal/core"
+	"lecopt/internal/dist"
+	"lecopt/internal/envsim"
+	"lecopt/internal/optimizer"
+	"lecopt/internal/plan"
+	"lecopt/internal/query"
+	"lecopt/internal/sqlmini"
+)
+
+// Re-exported core types. The aliases give external importers a stable
+// public surface over the internal packages.
+type (
+	// Scenario bundles a catalog, a query and an uncertainty model.
+	Scenario = core.Scenario
+	// PlanReport is the outcome of one optimization.
+	PlanReport = core.PlanReport
+	// Algorithm selects an optimization strategy.
+	Algorithm = core.Algorithm
+	// Env is an execution environment: a memory law plus an optional
+	// Markov chain for dynamic (per-phase) memory.
+	Env = envsim.Env
+	// Dist is a discrete probability distribution over parameter values.
+	Dist = dist.Dist
+	// Chain is a Markov chain over memory levels (Section 3.5).
+	Chain = dist.Chain
+	// Catalog stores table, column and index statistics.
+	Catalog = catalog.Catalog
+	// Table describes one stored relation.
+	Table = catalog.Table
+	// Column describes one attribute with statistics.
+	Column = catalog.Column
+	// Index describes a secondary index.
+	Index = catalog.Index
+	// Block is an SPJ query block.
+	Block = query.Block
+	// Plan is a physical plan tree node.
+	Plan = plan.Node
+	// Options tunes the optimizer's plan space.
+	Options = optimizer.Options
+)
+
+// Algorithms.
+const (
+	AlgLSCMean = core.AlgLSCMean // classical plan at the mean memory
+	AlgLSCMode = core.AlgLSCMode // classical plan at the modal memory
+	AlgA       = core.AlgA       // §3.2 black-box, one LSC run per bucket
+	AlgB       = core.AlgB       // §3.3 top-c candidates per bucket
+	AlgC       = core.AlgC       // §3.4/§3.5 LEC dynamic program
+	AlgD       = core.AlgD       // §3.6 multi-parameter LEC
+)
+
+// Algorithms lists every algorithm in presentation order.
+func Algorithms() []Algorithm { return append([]Algorithm(nil), core.Algorithms...) }
+
+// NewCatalog returns an empty statistics catalog.
+func NewCatalog() *Catalog { return catalog.New() }
+
+// NewTable builds a table with validated statistics.
+func NewTable(name string, pages, rows float64, cols ...Column) (*Table, error) {
+	return catalog.NewTable(name, pages, rows, cols...)
+}
+
+// ParseSQL parses a small SQL subset ("SELECT * FROM a, b WHERE a.k = b.k
+// AND a.v < 10 ORDER BY a.k") into a query block and validates it against
+// the catalog.
+func ParseSQL(sql string, cat *Catalog) (*Block, error) {
+	return sqlmini.ParseAndValidate(sql, cat)
+}
+
+// NewDist builds a distribution from values and (unnormalized) weights.
+func NewDist(vals, weights []float64) (Dist, error) { return dist.New(vals, weights) }
+
+// PointDist is the degenerate one-value law; it makes every LEC algorithm
+// coincide with the classical LSC optimizer.
+func PointDist(v float64) Dist { return dist.Point(v) }
+
+// Bimodal returns a two-point law: lo with probability pLo, hi otherwise.
+func Bimodal(lo, hi, pLo float64) (Dist, error) { return dist.Bimodal(lo, hi, pLo) }
+
+// StickyChain returns a Markov chain that stays put with probability stay
+// and otherwise drifts to a neighbouring level.
+func StickyChain(levels []float64, stay float64) (*Chain, error) {
+	return dist.Sticky(levels, stay)
+}
+
+// ExpectedCost evaluates a plan under per-phase memory laws.
+func ExpectedCost(p *Plan, laws []Dist) (float64, error) {
+	return optimizer.ExpectedCost(p, laws)
+}
+
+// EdgeKey canonically names a join edge for Scenario.SelLaws.
+func EdgeKey(j query.Join) string { return optimizer.EdgeKey(j) }

@@ -1,0 +1,81 @@
+package lecopt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the documented public surface
+// end-to-end: build a catalog, parse SQL, optimize classically and with
+// LEC, and compare.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cat := NewCatalog()
+	a, err := NewTable("a", 1_000_000, 100_000_000,
+		Column{Name: "k", Distinct: 4e13 / 3000.0, Min: 0, Max: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTable(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTable("b", 400_000, 40_000_000,
+		Column{Name: "k", Distinct: 1000, Min: 0, Max: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTable(b); err != nil {
+		t.Fatal(err)
+	}
+
+	blk, err := ParseSQL("SELECT * FROM a, b WHERE a.k = b.k ORDER BY a.k", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := Bimodal(700, 2000, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &Scenario{Cat: cat, Query: blk, Env: Env{Mem: mem}}
+
+	classical, err := sc.Optimize(AlgLSCMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lec, err := sc.Optimize(AlgC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lec.EC < classical.EC) {
+		t.Fatalf("LEC (%v) must beat classical (%v)", lec.EC, classical.EC)
+	}
+	if !strings.Contains(lec.Plan.String(), "grace-hash") {
+		t.Fatalf("expected grace-hash plan, got:\n%s", lec.Plan)
+	}
+
+	// ExpectedCost through the public helper agrees with the report.
+	ec, err := ExpectedCost(lec.Plan, []Dist{mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec != lec.EC {
+		t.Fatalf("ExpectedCost %v vs report %v", ec, lec.EC)
+	}
+}
+
+func TestPublicDistHelpers(t *testing.T) {
+	p := PointDist(42)
+	if p.Mean() != 42 {
+		t.Fatal("PointDist")
+	}
+	d, err := NewDist([]float64{1, 2}, []float64{1, 3})
+	if err != nil || d.Prob(1) != 0.75 {
+		t.Fatalf("NewDist: %v %v", d, err)
+	}
+	ch, err := StickyChain([]float64{10, 20}, 0.5)
+	if err != nil || ch.Len() != 2 {
+		t.Fatalf("StickyChain: %v", err)
+	}
+	if len(Algorithms()) == 0 {
+		t.Fatal("Algorithms list")
+	}
+}
