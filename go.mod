@@ -1,0 +1,3 @@
+module lecopt
+
+go 1.24
