@@ -174,6 +174,40 @@ func BenchmarkLSC(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizeBatch measures the concurrent batch pipeline on a slice
+// of the differential corpus: the throughput trajectory that
+// BENCH_batch.json captures from lecbench, reproducible under go test.
+func BenchmarkOptimizeBatch(b *testing.B) {
+	corpus := diffCorpus(b)[:40]
+	jobs := make([]BatchJob, len(corpus))
+	for i, sc := range corpus {
+		jobs[i] = BatchJob{Scenario: sc, Alg: AlgC}
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range OptimizeBatch(jobs, BatchOptions{Workers: workers}) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+	b.Run("workers=4/cache", func(b *testing.B) {
+		cache := NewPlanCache(1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range OptimizeBatch(jobs, BatchOptions{Workers: 4, Cache: cache}) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkRebucket measures §3.6.3 rebucketing.
 func BenchmarkRebucket(b *testing.B) {
 	for _, n := range []int{100, 1000} {

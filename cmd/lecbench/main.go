@@ -1,12 +1,17 @@
 // Command lecbench regenerates the paper-reproduction tables (experiments
 // E1-E20 of DESIGN.md) and prints them. EXPERIMENTS.md records one such
-// run annotated against the paper's claims.
+// run annotated against the paper's claims. With -workers it instead
+// drives a randomized batch-optimization workload through the concurrent
+// pipeline and reports throughput (plans/sec, allocs/op, cache hit rate),
+// writing the BENCH_batch.json regression artifact.
 //
 // Usage:
 //
-//	lecbench            # run everything
-//	lecbench -run E1,E5 # selected experiments
-//	lecbench -list      # list experiment IDs and titles
+//	lecbench                      # run every experiment
+//	lecbench -run E1,E5           # selected experiments
+//	lecbench -list                # list experiment IDs and titles
+//	lecbench -workers=8 -cache    # batch throughput mode
+//	lecbench -workers=8 -qps=500  # paced offered load
 package main
 
 import (
@@ -22,8 +27,33 @@ func main() {
 	var (
 		runSpec = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		list    = flag.Bool("list", false, "list experiments and exit")
+
+		workers   = flag.Int("workers", 0, "batch throughput mode: worker count (0 = experiment mode)")
+		requests  = flag.Int("requests", 2000, "throughput mode: total optimization requests")
+		distinct  = flag.Int("distinct", 64, "throughput mode: distinct scenarios in the pool")
+		useCache  = flag.Bool("cache", false, "throughput mode: memoize plans in an LRU cache")
+		cacheSize = flag.Int("cachesize", 4096, "throughput mode: plan-cache capacity")
+		qps       = flag.Float64("qps", 0, "throughput mode: offered load limit in plans/sec (0 = unlimited)")
+		seed      = flag.Int64("seed", 1, "throughput mode: workload seed")
+		alg       = flag.String("alg", "algorithm-c", "throughput mode: optimization algorithm")
+		jsonPath  = flag.String("json", "BENCH_batch.json", "throughput mode: perf artifact path (empty = skip)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		if *runSpec != "" || *list {
+			fmt.Fprintln(os.Stderr, "lecbench: -run/-list select experiments and cannot be combined with -workers (throughput mode)")
+			os.Exit(1)
+		}
+		cfg := throughputConfig{
+			Workers: *workers, Requests: *requests, Distinct: *distinct,
+			Cache: *useCache, CacheSize: *cacheSize, QPS: *qps, Seed: *seed, Alg: *alg,
+		}
+		if _, err := runThroughput(cfg, *jsonPath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "lecbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*runSpec, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "lecbench:", err)
 		os.Exit(1)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package main
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation skews wall-clock comparisons.
+const raceEnabled = false

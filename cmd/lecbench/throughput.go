@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"lecopt"
+	"lecopt/internal/workload"
+)
+
+// throughputConfig parameterizes one batch-throughput run.
+type throughputConfig struct {
+	Workers   int     `json:"workers"`
+	Requests  int     `json:"requests"`
+	Distinct  int     `json:"distinct_scenarios"`
+	Cache     bool    `json:"cache"`
+	CacheSize int     `json:"cache_size"`
+	QPS       float64 `json:"qps_limit"`
+	Seed      int64   `json:"seed"`
+	Alg       string  `json:"alg"`
+}
+
+// throughputReport is the BENCH_batch.json artifact: the perf trajectory
+// future PRs compare against.
+type throughputReport struct {
+	throughputConfig
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	PlansPerSec    float64 `json:"plans_per_sec"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	Errors         int     `json:"errors"`
+}
+
+func algByName(name string) (lecopt.Algorithm, error) {
+	for _, a := range lecopt.Algorithms() {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (see lecopt.Algorithms)", name)
+}
+
+// buildJobs generates cfg.Distinct random scenarios (mixed shapes, sizes and
+// environments — all seeded, so a run is reproducible) and a request stream
+// of cfg.Requests jobs sampling them uniformly. Repeats in the stream are
+// what a plan cache exploits.
+func buildJobs(cfg throughputConfig) ([]lecopt.BatchJob, error) {
+	alg, err := algByName(cfg.Alg)
+	if err != nil {
+		return nil, err
+	}
+	envs, err := workload.StandardEnvs()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	shapes := []workload.Shape{workload.Chain, workload.Star, workload.Clique, workload.Random}
+	scenarios := make([]*lecopt.Scenario, cfg.Distinct)
+	for i := range scenarios {
+		tables := 2 + rng.Intn(4) // 2..5 relations
+		sc, err := workload.Generate(workload.DefaultSpec(tables, shapes[rng.Intn(len(shapes))]), rng)
+		if err != nil {
+			return nil, err
+		}
+		scenarios[i] = &lecopt.Scenario{Cat: sc.Cat, Query: sc.Block, Env: envs[i%len(envs)].Env}
+	}
+	jobs := make([]lecopt.BatchJob, cfg.Requests)
+	for i := range jobs {
+		jobs[i] = lecopt.BatchJob{Scenario: scenarios[rng.Intn(len(scenarios))], Alg: alg}
+	}
+	return jobs, nil
+}
+
+// runThroughput drives the batch pipeline and reports plans/sec, allocation
+// rates and cache effectiveness. With cfg.QPS > 0 the request stream is
+// paced to that offered load (in 100ms slices); otherwise the pipeline runs
+// flat out.
+func runThroughput(cfg throughputConfig, jsonPath string, w io.Writer) (throughputReport, error) {
+	if cfg.Requests < 1 || cfg.Distinct < 1 {
+		return throughputReport{}, fmt.Errorf("requests and distinct must be positive")
+	}
+	jobs, err := buildJobs(cfg)
+	if err != nil {
+		return throughputReport{}, err
+	}
+	opts := lecopt.BatchOptions{Workers: cfg.Workers}
+	var cache *lecopt.PlanCache
+	if cfg.Cache {
+		cache = lecopt.NewPlanCache(cfg.CacheSize)
+		opts.Cache = cache
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var results []lecopt.BatchResult
+	if cfg.QPS > 0 {
+		// Release ~10 slices a second, pacing against a start-anchored
+		// schedule: the next slice is not released before the instant by
+		// which `end` plans should have been offered at cfg.QPS. Sleeping
+		// a flat interval instead would add the slice's own processing
+		// time to every cycle and systematically under-deliver the rate.
+		slice := int(math.Ceil(cfg.QPS / 10))
+		for off := 0; off < len(jobs); off += slice {
+			end := off + slice
+			if end > len(jobs) {
+				end = len(jobs)
+			}
+			results = append(results, lecopt.OptimizeBatch(jobs[off:end], opts)...)
+			if end < len(jobs) {
+				due := start.Add(time.Duration(float64(end) / cfg.QPS * float64(time.Second)))
+				time.Sleep(time.Until(due))
+			}
+		}
+	} else {
+		results = lecopt.OptimizeBatch(jobs, opts)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	rep := throughputReport{
+		throughputConfig: cfg,
+		ElapsedSeconds:   elapsed.Seconds(),
+		PlansPerSec:      float64(len(results)) / elapsed.Seconds(),
+		AllocsPerOp:      float64(after.Mallocs-before.Mallocs) / float64(len(results)),
+		BytesPerOp:       float64(after.TotalAlloc-before.TotalAlloc) / float64(len(results)),
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			rep.Errors++
+			if rep.Errors == 1 {
+				fmt.Fprintf(w, "first failure: job %d: %v\n", i, r.Err)
+			}
+		}
+	}
+	if cache != nil {
+		st := cache.Stats()
+		rep.CacheHits, rep.CacheMisses, rep.CacheHitRate = st.Hits, st.Misses, st.HitRate()
+	}
+
+	fmt.Fprintf(w, "batch throughput: %d requests over %d scenarios, %d workers, cache=%v\n",
+		cfg.Requests, cfg.Distinct, cfg.Workers, cfg.Cache)
+	fmt.Fprintf(w, "  %.0f plans/sec (%.3fs elapsed), %.0f allocs/op, %.0f bytes/op\n",
+		rep.PlansPerSec, rep.ElapsedSeconds, rep.AllocsPerOp, rep.BytesPerOp)
+	if cache != nil {
+		fmt.Fprintf(w, "  cache: %d hits, %d misses, %.1f%% hit rate\n",
+			rep.CacheHits, rep.CacheMisses, 100*rep.CacheHitRate)
+	}
+	if rep.Errors > 0 {
+		return rep, fmt.Errorf("%d of %d jobs failed", rep.Errors, len(results))
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return rep, err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return rep, err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", jsonPath)
+	}
+	return rep, nil
+}

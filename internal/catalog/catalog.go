@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Errors returned by catalog operations.
@@ -85,6 +86,11 @@ type Catalog struct {
 	tables  map[string]*Table
 	indexes map[string]*Index
 	byTable map[string][]*Index
+
+	// fp memoizes Fingerprint between mutations (guarded by fpMu, since
+	// concurrent optimizations share read-only catalogs).
+	fpMu sync.Mutex
+	fp   string
 }
 
 // New returns an empty catalog.
@@ -164,6 +170,7 @@ func (c *Catalog) AddTable(t *Table) error {
 		return fmt.Errorf("%w: %s", ErrDupTable, t.Name)
 	}
 	c.tables[t.Name] = t
+	c.invalidateFingerprint()
 	return nil
 }
 
@@ -213,6 +220,7 @@ func (c *Catalog) AddIndex(ix Index) error {
 	stored := ix
 	c.indexes[ix.Name] = &stored
 	c.byTable[ix.Table] = append(c.byTable[ix.Table], &stored)
+	c.invalidateFingerprint()
 	return nil
 }
 

@@ -1,0 +1,77 @@
+package catalog
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Fingerprint returns a stable hex digest of the catalog's full statistical
+// content: every table (pages, rows, columns with type/distinct/domain and
+// histogram buckets) and every index. Tables, columns and indexes are hashed
+// in name order, so two catalogs with identical statistics produce identical
+// fingerprints regardless of registration order and the fingerprint can key
+// caches of optimization results — any statistics change (new histogram,
+// updated row count, added index) changes the digest and naturally
+// invalidates stale cached plans.
+//
+// The digest is computed once and memoized until the next AddTable/AddIndex;
+// serving workloads therefore pay the hash per catalog version, not per
+// query. Callers that revise a registered *Table's statistics in place must
+// call InvalidateFingerprint afterwards, or stale plan-cache keys will keep
+// serving plans optimized for the old statistics.
+func (c *Catalog) Fingerprint() string {
+	c.fpMu.Lock()
+	defer c.fpMu.Unlock()
+	if c.fp == "" {
+		c.fp = c.fingerprint()
+	}
+	return c.fp
+}
+
+// InvalidateFingerprint drops the memoized digest. AddTable/AddIndex call it
+// automatically; it is exported for callers that mutate registered table
+// statistics in place, which the memo cannot observe.
+func (c *Catalog) InvalidateFingerprint() { c.invalidateFingerprint() }
+
+// invalidateFingerprint drops the memoized digest after a mutation.
+func (c *Catalog) invalidateFingerprint() {
+	c.fpMu.Lock()
+	c.fp = ""
+	c.fpMu.Unlock()
+}
+
+func (c *Catalog) fingerprint() string {
+	h := sha256.New()
+	for _, name := range c.TableNames() { // sorted
+		t := c.tables[name]
+		fmt.Fprintf(h, "table %s pages=%v rows=%v\n", t.Name, t.Pages, t.Rows)
+		cols := append([]Column(nil), t.columns...)
+		sort.Slice(cols, func(i, j int) bool { return cols[i].Name < cols[j].Name })
+		for _, col := range cols {
+			fmt.Fprintf(h, "col %s type=%d distinct=%v min=%v max=%v\n",
+				col.Name, col.Type, col.Distinct, col.Min, col.Max)
+			if col.Hist != nil {
+				col.Hist.fingerprint(h)
+			}
+		}
+	}
+	ixNames := make([]string, 0, len(c.indexes))
+	for name := range c.indexes {
+		ixNames = append(ixNames, name)
+	}
+	sort.Strings(ixNames)
+	for _, name := range ixNames {
+		ix := c.indexes[name]
+		fmt.Fprintf(h, "index %s on=%s.%s clustered=%v height=%v\n",
+			ix.Name, ix.Table, ix.Column, ix.Clustered, ix.Height)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fingerprint writes the histogram's buckets into a digest stream.
+func (hist *Histogram) fingerprint(w io.Writer) {
+	fmt.Fprintf(w, "hist bounds=%v counts=%v\n", hist.bounds, hist.counts)
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"lecopt/internal/plancache"
+	"lecopt/internal/pool"
+)
+
+// BatchJob is one unit of work for OptimizeBatch: optimize Scenario with Alg.
+type BatchJob struct {
+	Scenario *Scenario
+	Alg      Algorithm
+}
+
+// BatchResult is the outcome of one BatchJob. Exactly one of Report/Err is
+// meaningful; CacheHit reports whether the report was served from the cache
+// without running the optimizer.
+type BatchResult struct {
+	Report   PlanReport
+	Err      error
+	CacheHit bool
+}
+
+// BatchOptions tunes OptimizeBatch.
+type BatchOptions struct {
+	// Workers is the number of concurrent optimizations; 0 uses GOMAXPROCS.
+	// The worker count never changes the results, only the wall-clock time.
+	Workers int
+	// Cache, when non-nil, memoizes PlanReports across jobs (and across
+	// batches — share one cache for a serving workload). Keys cover the
+	// catalog fingerprint, canonical query shape, environment-law digest,
+	// plan-space options and algorithm, so a statistics or law change
+	// misses cleanly; see Scenario.CacheKey. Two identical jobs racing on
+	// a cold key may both compute (last write wins) — wasteful but
+	// harmless, since equal keys imply equal reports.
+	Cache *plancache.Cache[PlanReport]
+}
+
+// CacheKey returns the plan-cache signature of optimizing this scenario with
+// alg. Scenarios whose keys are equal are optimized identically, so their
+// PlanReports may be shared; any change to the catalog statistics, query,
+// environment laws or options yields a new key (stale entries age out of the
+// LRU — there is no explicit invalidation).
+func (s *Scenario) CacheKey(alg Algorithm) (string, error) {
+	if err := s.check(); err != nil {
+		return "", err
+	}
+	// Hash only the inputs this algorithm reads: TopC steers Algorithm B
+	// alone and the selectivity/size laws Algorithm D alone, so folding
+	// them into every key would split otherwise-identical AlgC jobs into
+	// spurious cache misses.
+	topC := 0
+	if alg == AlgB {
+		topC = s.topC()
+	}
+	selLaws, sizeLaws := s.SelLaws, s.SizeLaws
+	if alg != AlgD {
+		selLaws, sizeLaws = nil, nil
+	}
+	return plancache.Signature(s.Cat, s.Query, s.Env, selLaws, sizeLaws,
+		s.Opts, topC, alg.String()), nil
+}
+
+// OptimizeBatch optimizes every job, fanning across opts.Workers goroutines,
+// and returns results in job order: results[i] answers jobs[i]. Failures are
+// reported per job in BatchResult.Err — one bad scenario never aborts its
+// batch. The results are byte-identical to calling jobs[i].Scenario.Optimize
+// (jobs[i].Alg) sequentially: every optimization is deterministic and the
+// pool only changes scheduling, never inputs.
+//
+// Scenarios and their catalogs are read, never written, so jobs may share
+// them. Cached reports share plan trees; treat returned plans as immutable
+// (Clone before mutating).
+func OptimizeBatch(jobs []BatchJob, opts BatchOptions) []BatchResult {
+	results := make([]BatchResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := pool.Workers(opts.Workers, len(jobs))
+	runOne := func(i int) {
+		job := jobs[i]
+		if job.Scenario == nil {
+			results[i] = BatchResult{Err: ErrNilScenario}
+			return
+		}
+		key := ""
+		if opts.Cache != nil {
+			k, err := job.Scenario.CacheKey(job.Alg)
+			if err != nil {
+				results[i] = BatchResult{Err: err}
+				return
+			}
+			key = k
+			if rep, ok := opts.Cache.Get(key); ok {
+				results[i] = BatchResult{Report: rep, CacheHit: true}
+				return
+			}
+		}
+		sc := job.Scenario
+		if workers > 1 && sc.Opts.Workers == 0 {
+			// The batch pool already saturates the machine; letting A/B's
+			// per-bucket fan-out also default to GOMAXPROCS would stack
+			// P×P CPU-bound goroutines for no added parallelism. Shallow-
+			// copy rather than mutate — scenarios may be shared across
+			// jobs. Workers never changes results, so cache keys and
+			// sequential identity are unaffected.
+			cp := *sc
+			cp.Opts.Workers = 1
+			sc = &cp
+		}
+		rep, err := sc.Optimize(job.Alg)
+		if err != nil {
+			results[i] = BatchResult{Err: err}
+			return
+		}
+		if opts.Cache != nil {
+			opts.Cache.Put(key, rep)
+		}
+		results[i] = BatchResult{Report: rep}
+	}
+	pool.Run(len(jobs), workers, func(i int) error {
+		runOne(i) // failures land in results[i].Err, never abort the batch
+		return nil
+	})
+	return results
+}

@@ -113,6 +113,11 @@ func (c *Chain) States() []float64 {
 	return append([]float64(nil), c.states...)
 }
 
+// Prob returns the one-step transition probability from state i to state j
+// (states in ascending order, as returned by States). It panics on
+// out-of-range indexes, mirroring slice semantics.
+func (c *Chain) Prob(i, j int) float64 { return c.rows[i][j] }
+
 // index locates a state value.
 func (c *Chain) index(v float64) (int, bool) {
 	i := sort.SearchFloat64s(c.states, v)

@@ -67,7 +67,10 @@ func New(vals, weights []float64) (Dist, error) {
 		}
 		total += w
 	}
-	if total <= 0 {
+	// A sum of individually finite weights can still overflow to +Inf,
+	// which would normalize every probability to zero (found by review of
+	// the FuzzNewDist invariants); reject it like any other bad mass.
+	if total <= 0 || math.IsInf(total, 0) {
 		return Dist{}, fmt.Errorf("%w: total weight %v", ErrBadDist, total)
 	}
 	idx := make([]int, len(vals))
@@ -90,6 +93,14 @@ func New(vals, weights []float64) (Dist, error) {
 		}
 		d.vals = append(d.vals, vals[i])
 		d.probs = append(d.probs, p)
+	}
+	// Merging duplicate values sums already-rounded quotients, which can
+	// carry a probability one ulp above 1 (found by FuzzNewDist); clamp so
+	// Prob always reports a value in [0, 1].
+	for i, p := range d.probs {
+		if p > 1 {
+			d.probs[i] = 1
+		}
 	}
 	return d, nil
 }

@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzNewDist throws arbitrary value/weight vectors at the Dist constructor
+// and checks the package's core contract: New either rejects with ErrBadDist
+// or returns a law whose invariants (ascending duplicate-free support,
+// normalized mass, statistics inside the support range) all hold. Every
+// algorithm in the repo leans on these invariants, so they must survive
+// adversarial inputs — NaNs, infinities, subnormals, huge magnitudes.
+func FuzzNewDist(f *testing.F) {
+	f.Add(700.0, 2000.0, 0.0, 0.0, 0.2, 0.8, 0.0, 0.0, uint8(2))
+	f.Add(1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, uint8(4))          // duplicates merge
+	f.Add(4096.0, 64.0, 1024.0, 256.0, 1.0, 3.0, 1.0, 2.0, uint8(4)) // unsorted input
+	f.Add(0.0, -5.5, 12.25, 3.0, 0.0, 1.0, 2.0, 0.0, uint8(4))       // zero weights drop
+	f.Add(math.NaN(), 1.0, 2.0, 3.0, 1.0, 1.0, 1.0, 1.0, uint8(4))   // must reject
+	f.Add(1.0, 2.0, 3.0, 4.0, -1.0, 1.0, 1.0, 1.0, uint8(4))         // negative weight
+	f.Add(math.MaxFloat64, -math.MaxFloat64, 0.0, 0.0, 0.5, 0.5, 0.0, 0.0, uint8(2))
+	f.Add(5e-324, 1e308, 0.0, 0.0, 5e-324, 1e308, 0.0, 0.0, uint8(2)) // subnormal edge
+	f.Add(1.0, 2.0, 0.0, 0.0, 1e308, 1e308, 0.0, 0.0, uint8(2))       // weight sum overflows
+	f.Fuzz(func(t *testing.T, v0, v1, v2, v3, w0, w1, w2, w3 float64, n uint8) {
+		k := int(n)%4 + 1
+		vals := []float64{v0, v1, v2, v3}[:k]
+		weights := []float64{w0, w1, w2, w3}[:k]
+		d, err := New(vals, weights)
+		if err != nil {
+			if !errors.Is(err, ErrBadDist) {
+				t.Fatalf("New rejected with a foreign error: %v", err)
+			}
+			if !d.IsZero() {
+				t.Fatal("error return carried a non-zero Dist")
+			}
+			return
+		}
+		if d.Len() < 1 || d.Len() > k {
+			t.Fatalf("support size %d outside [1, %d]", d.Len(), k)
+		}
+		mass := 0.0
+		for i := 0; i < d.Len(); i++ {
+			v, p := d.Value(i), d.Prob(i)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite support value %v", v)
+			}
+			if i > 0 && v <= d.Value(i-1) {
+				t.Fatalf("support not strictly ascending at %d: %v after %v", i, v, d.Value(i-1))
+			}
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("probability %v out of range", p)
+			}
+			mass += p
+		}
+		if math.Abs(mass-1) > 1e-9 {
+			t.Fatalf("total mass %v != 1", mass)
+		}
+		lo, hi := d.Min(), d.Max()
+		slack := 1e-9 * math.Max(1, math.Max(math.Abs(lo), math.Abs(hi)))
+		for name, stat := range map[string]float64{"mean": d.Mean(), "mode": d.Mode()} {
+			if math.IsNaN(stat) || stat < lo-slack || stat > hi+slack {
+				t.Fatalf("%s %v outside support range [%v, %v]", name, stat, lo, hi)
+			}
+		}
+		sample := d.Sample(rand.New(rand.NewSource(1)))
+		found := false
+		for i := 0; i < d.Len(); i++ {
+			if d.Value(i) == sample {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("Sample returned %v, not a support value", sample)
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"lecopt/internal/dist"
 	"lecopt/internal/expcost"
 	"lecopt/internal/plan"
+	"lecopt/internal/pool"
 	"lecopt/internal/query"
 )
 
@@ -49,6 +50,19 @@ func AlgorithmCDynamic(cat *catalog.Catalog, blk *query.Block, opts Options, ini
 	return c.dpBest(lawScorer{laws})
 }
 
+// bucketPoints lists the memory values Algorithms A and B probe with an LSC
+// pass: every bucket of the law plus its mean. The paper notes the
+// traditional expected value can be assumed to be among the candidates
+// "without loss of generality"; including it makes the dominance guarantee
+// versus mean-LSC hold by construction.
+func bucketPoints(mem dist.Dist) []float64 {
+	pts := make([]float64, 0, mem.Len()+1)
+	for i := 0; i < mem.Len(); i++ {
+		pts = append(pts, mem.Value(i))
+	}
+	return append(pts, mem.Mean())
+}
+
 // AlgorithmA treats a standard optimizer as a black box (Section 3.2): run
 // LSC once per memory bucket, then pick the candidate with least expected
 // cost under the full law. Its plan is never worse in expectation than the
@@ -60,39 +74,40 @@ func AlgorithmA(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.D
 		return Result{}, err
 	}
 	laws := staticLaws(mem, c.n)
+	// The per-bucket LSC runs are independent System R passes over the
+	// read-only prepared context, so they fan out across Options.Workers
+	// goroutines; merging in bucket order afterwards keeps the outcome
+	// identical to a serial run.
 	type cand struct {
 		res Result
 		ec  float64
 	}
-	seen := map[string]bool{}
-	var cands []cand
-	consider := func(m float64) error {
-		r, err := c.dpBest(pointScorer{m})
+	points := bucketPoints(mem)
+	runs := make([]cand, len(points))
+	err = pool.Run(len(points), c.opts.workers(len(points)), func(i int) error {
+		r, err := c.dpBest(pointScorer{points[i]})
 		if err != nil {
 			return err
 		}
-		sig := r.Plan.Signature()
-		if seen[sig] {
-			return nil
-		}
-		seen[sig] = true
 		ec, err := ExpectedCost(r.Plan, laws)
 		if err != nil {
 			return err
 		}
-		cands = append(cands, cand{r, ec})
+		runs[i] = cand{r, ec}
 		return nil
-	}
-	for i := 0; i < mem.Len(); i++ {
-		if err := consider(mem.Value(i)); err != nil {
-			return Result{}, err
-		}
-	}
-	// The paper notes the traditional expected value can be assumed to be
-	// among the candidates "without loss of generality"; include it so the
-	// dominance guarantee versus mean-LSC holds by construction.
-	if err := consider(mem.Mean()); err != nil {
+	})
+	if err != nil {
 		return Result{}, err
+	}
+	seen := map[string]bool{}
+	var cands []cand
+	for _, r := range runs {
+		sig := r.res.Plan.Signature()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		cands = append(cands, r)
 	}
 	best := -1
 	for i := range cands {
@@ -124,36 +139,47 @@ func AlgorithmB(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.D
 		e  entry
 		ec float64
 	}
-	seen := map[string]bool{}
-	var cands []cand
-	probes := 0
-	consider := func(m float64) error {
-		tops, pr, err := cx.dpTopC(pointScorer{m}, c)
+	// Like Algorithm A, the per-bucket top-c passes are independent and
+	// fan out across Options.Workers goroutines; the bucket-order merge
+	// below keeps candidate selection deterministic.
+	type bucketRun struct {
+		cands  []cand
+		probes int
+	}
+	points := bucketPoints(mem)
+	runs := make([]bucketRun, len(points))
+	err = pool.Run(len(points), cx.opts.workers(len(points)), func(i int) error {
+		tops, pr, err := cx.dpTopC(pointScorer{points[i]}, c)
 		if err != nil {
 			return err
 		}
-		probes += pr
+		run := bucketRun{probes: pr}
 		for _, e := range tops {
-			sig := e.node.Signature()
-			if seen[sig] {
-				continue
-			}
-			seen[sig] = true
 			ec, err := ExpectedCost(e.node, laws)
 			if err != nil {
 				return err
 			}
-			cands = append(cands, cand{e, ec})
+			run.cands = append(run.cands, cand{e, ec})
 		}
+		runs[i] = run
 		return nil
-	}
-	for i := 0; i < mem.Len(); i++ {
-		if err := consider(mem.Value(i)); err != nil {
-			return Result{}, err
-		}
-	}
-	if err := consider(mem.Mean()); err != nil {
+	})
+	if err != nil {
 		return Result{}, err
+	}
+	seen := map[string]bool{}
+	var cands []cand
+	probes := 0
+	for _, run := range runs {
+		probes += run.probes
+		for _, cd := range run.cands {
+			sig := cd.e.node.Signature()
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			cands = append(cands, cd)
+		}
 	}
 	best := -1
 	for i := range cands {

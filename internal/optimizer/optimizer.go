@@ -56,6 +56,13 @@ type Options struct {
 	// SizeBuckets caps the per-node result-size distribution in
 	// Algorithm D (Section 3.6.3 rebucketing); defaults to 27.
 	SizeBuckets int
+	// Workers bounds the concurrency of the per-bucket LSC runs inside
+	// Algorithms A and B (one System R pass per memory bucket — the
+	// paper's "b standard optimizations", embarrassingly parallel).
+	// 0 uses GOMAXPROCS; 1 runs serially. Workers never changes which
+	// plan is found — per-bucket results are merged in deterministic
+	// bucket order — so it is excluded from plan-cache signatures.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +77,12 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// Normalized returns the options with defaults applied — the form every
+// algorithm actually runs with. Cache-key builders hash the normalized
+// form so zero-value options and explicitly spelled-out defaults produce
+// the same key.
+func (o Options) Normalized() Options { return o.withDefaults() }
 
 // Result is an optimization outcome.
 type Result struct {

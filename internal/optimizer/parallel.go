@@ -1,0 +1,8 @@
+package optimizer
+
+import "lecopt/internal/pool"
+
+// workers resolves the effective concurrency for n independent sub-runs.
+// The prepared optimization context is safe to share across the resulting
+// goroutines because every DP pass only reads it.
+func (o Options) workers(n int) int { return pool.Workers(o.Workers, n) }

@@ -1,0 +1,50 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lecopt/internal/dist"
+	"lecopt/internal/workload"
+)
+
+// TestParallelBucketsMatchSerial asserts Algorithms A and B return the exact
+// same result regardless of Options.Workers: parallelism over memory buckets
+// must never change plan choice, score, or bookkeeping.
+func TestParallelBucketsMatchSerial(t *testing.T) {
+	mem := dist.MustNew([]float64{64, 256, 1024, 4096, 16384}, []float64{3, 2, 1, 1, 2})
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		shape := []workload.Shape{workload.Chain, workload.Star, workload.Random}[seed%3]
+		sc, err := workload.Generate(workload.DefaultSpec(3+int(seed%3), shape), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := func(r Result) string {
+			return fmt.Sprintf("%s|%v|%d|%d", r.Plan.Signature(), r.EC, r.Candidates, r.Probes)
+		}
+		serialA, err := AlgorithmA(sc.Cat, sc.Block, Options{Workers: 1}, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallelA, err := AlgorithmA(sc.Cat, sc.Block, Options{Workers: 8}, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key(serialA) != key(parallelA) {
+			t.Fatalf("seed %d AlgorithmA:\n serial   %s\n parallel %s", seed, key(serialA), key(parallelA))
+		}
+		serialB, err := AlgorithmB(sc.Cat, sc.Block, Options{Workers: 1}, mem, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallelB, err := AlgorithmB(sc.Cat, sc.Block, Options{Workers: 8}, mem, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key(serialB) != key(parallelB) {
+			t.Fatalf("seed %d AlgorithmB:\n serial   %s\n parallel %s", seed, key(serialB), key(parallelB))
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package plancache memoizes optimization results. Repeated queries are the
+// norm in the serving workloads the ROADMAP targets — the same parameterized
+// report runs thousands of times an hour against slowly-changing statistics —
+// so a plan that took a full dynamic program to find should be found once.
+//
+// The cache is a sharded, mutex-protected LRU keyed by an opaque string; use
+// Signature to build keys that cover everything the optimizer's answer
+// depends on (catalog fingerprint, canonical query shape, environment-law
+// digest, plan-space options and algorithm). Because statistics are hashed
+// into the key, there is no explicit invalidation: updating the catalog
+// changes the key and stale entries simply age out of the LRU.
+//
+// All methods are safe for concurrent use.
+package plancache
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+const shardCount = 16 // power of two; low-bits shard selection
+
+// Cache is a sharded LRU mapping string keys to values of type V.
+// The zero value is not usable; construct with New.
+type Cache[V any] struct {
+	shards [shardCount]shard[V]
+	seed   maphash.Seed
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type shard[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// New returns a cache holding at most capacity entries (minimum one per
+// shard is enforced so a tiny capacity still caches something).
+func New[V any](capacity int) *Cache[V] {
+	perShard := capacity / shardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache[V]{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].items = make(map[string]*list.Element)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+func (c *Cache[V]) shardOf(key string) *shard[V] {
+	return &c.shards[maphash.String(c.seed, key)&(shardCount-1)]
+}
+
+// Get returns the cached value for key and whether it was present, marking
+// the entry most-recently-used on a hit.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.order.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	c.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// Put stores key→val, evicting the shard's least-recently-used entry when
+// the shard is full. Storing an existing key refreshes its value and recency.
+func (c *Cache[V]) Put(key string, val V) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		s.order.MoveToFront(el)
+		return
+	}
+	if s.order.Len() >= s.cap {
+		oldest := s.order.Back()
+		if oldest != nil {
+			s.order.Remove(oldest)
+			delete(s.items, oldest.Value.(*lruEntry[V]).key)
+		}
+	}
+	s.items[key] = s.order.PushFront(&lruEntry[V]{key: key, val: val})
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+	Size   int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (st Stats) HitRate() float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the hit/miss counters and current size.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Size: c.Len()}
+}

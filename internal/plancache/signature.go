@@ -1,0 +1,84 @@
+package plancache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"lecopt/internal/catalog"
+	"lecopt/internal/dist"
+	"lecopt/internal/envsim"
+	"lecopt/internal/optimizer"
+	"lecopt/internal/query"
+)
+
+// Signature builds a canonical cache key covering everything an
+// optimization's outcome depends on:
+//
+//   - the catalog fingerprint (all table/column/histogram/index statistics),
+//   - the query's canonical shape (tables, predicates, ORDER BY — order
+//     insensitive),
+//   - a digest of the environment laws (memory distribution plus the full
+//     Markov transition matrix when dynamic),
+//   - the Algorithm D selectivity and size laws,
+//   - the plan-space options and algorithm name (and Algorithm B's top-c).
+//
+// Options.Workers is deliberately excluded: the worker count changes how
+// fast an answer is found, never which answer. Two scenarios that hash
+// equal are optimized identically, so memoized PlanReports can be shared.
+func Signature(cat *catalog.Catalog, blk *query.Block, env envsim.Env,
+	selLaws, sizeLaws map[string]dist.Dist, opts optimizer.Options, topC int, alg string) string {
+	opts = opts.Normalized() // zero-value and explicit defaults hash equal
+	h := sha256.New()
+	fmt.Fprintf(h, "alg=%s topc=%d\n", alg, topC)
+	fmt.Fprintf(h, "cat=%s\n", cat.Fingerprint())
+	fmt.Fprintf(h, "query=%s\n", blk.Canonical())
+	io.WriteString(h, "mem=")
+	writeDist(h, env.Mem)
+	if env.Chain != nil {
+		states := env.Chain.States()
+		fmt.Fprintf(h, "chain states=%v rows=", states)
+		for i := range states {
+			for j := range states {
+				fmt.Fprintf(h, "%v,", env.Chain.Prob(i, j))
+			}
+			io.WriteString(h, ";")
+		}
+		io.WriteString(h, "\n")
+	}
+	writeLawMap(h, "sel", selLaws)
+	writeLawMap(h, "size", sizeLaws)
+	methods := make([]string, len(opts.Methods))
+	for i, m := range opts.Methods {
+		methods[i] = m.String()
+	}
+	fmt.Fprintf(h, "opts methods=%v noidx=%v minpages=%v sizebuckets=%d\n",
+		methods, opts.DisableIndexes, opts.MinPages, opts.SizeBuckets)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeDist streams a distribution's support and probabilities.
+func writeDist(w io.Writer, d dist.Dist) {
+	for i := 0; i < d.Len(); i++ {
+		fmt.Fprintf(w, "%v:%v,", d.Value(i), d.Prob(i))
+	}
+	io.WriteString(w, "\n")
+}
+
+// writeLawMap streams a law map in sorted key order.
+func writeLawMap(w io.Writer, label string, laws map[string]dist.Dist) {
+	if len(laws) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(laws))
+	for k := range laws {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %s=", label, k)
+		writeDist(w, laws[k])
+	}
+}

@@ -1,0 +1,72 @@
+// Package pool provides the indexed worker-pool primitive shared by the
+// optimizer's per-bucket fan-out and the batch optimization pipeline.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves an effective concurrency for n independent sub-runs:
+// requested if positive (capped at n), otherwise GOMAXPROCS, never below 1.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run evaluates f(0) … f(n-1) across at most workers goroutines and returns
+// the first error by index order. Each f writes its result into a
+// caller-owned slot, so callers get deterministic, input-ordered output no
+// matter how the runs interleave; with workers <= 1 it degenerates to a
+// plain loop. A returned error stops remaining runs from starting (in-flight
+// ones finish).
+func Run(n, workers int, f func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := f(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

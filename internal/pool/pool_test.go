@@ -1,0 +1,67 @@
+package pool
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct{ requested, n, want int }{
+		{1, 10, 1},
+		{4, 10, 4},
+		{16, 4, 4}, // capped at n
+		{0, 2, min(runtime.GOMAXPROCS(0), 2)},
+		{-3, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRun(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		var sum atomic.Int64
+		order := make([]int, 10)
+		err := Run(10, workers, func(i int) error {
+			order[i] = i * i
+			sum.Add(int64(i))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Load() != 45 {
+			t.Fatalf("workers=%d: visited sum %d", workers, sum.Load())
+		}
+		for i, v := range order {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d holds %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := Run(8, workers, func(i int) error {
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

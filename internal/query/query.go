@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"lecopt/internal/catalog"
@@ -80,7 +81,12 @@ type Filter struct {
 }
 
 func (f Filter) String() string {
-	return fmt.Sprintf("%s %s %g", f.Col, f.Op, f.Value)
+	// Decimal (never exponent) notation keeps the rendering inside the
+	// sqlmini grammar, so String() output re-parses for any value the
+	// parser itself can produce (non-negative finite) — a round-trip the
+	// FuzzParse harness checks. Negative values, only constructible
+	// programmatically, still render but are outside that grammar.
+	return fmt.Sprintf("%s %s %s", f.Col, f.Op, strconv.FormatFloat(f.Value, 'f', -1, 64))
 }
 
 // Block is one SPJ query block.

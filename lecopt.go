@@ -23,6 +23,35 @@
 //	lec, _ := sc.Optimize(lecopt.AlgC)             // picks grace-hash + sort
 //	fmt.Println(lec.EC < classical.EC)             // true
 //
+// # Batch & concurrent use
+//
+// Optimizations are independent, so heavy workloads should go through
+// OptimizeBatch, which fans a worker pool across many scenarios and can
+// memoize repeated queries in a plan cache:
+//
+//	cache := lecopt.NewPlanCache(4096)
+//	jobs := make([]lecopt.BatchJob, len(scenarios))
+//	for i, sc := range scenarios {
+//		jobs[i] = lecopt.BatchJob{Scenario: sc, Alg: lecopt.AlgC}
+//	}
+//	results := lecopt.OptimizeBatch(jobs, lecopt.BatchOptions{Workers: 8, Cache: cache})
+//	for i, r := range results { // results[i] answers jobs[i]
+//		if r.Err == nil {
+//			fmt.Println(r.Report.Plan, r.Report.EC, r.CacheHit)
+//		}
+//	}
+//	fmt.Println(cache.Stats().HitRate())
+//
+// Results are byte-identical to sequential Scenario.Optimize calls: worker
+// count only changes wall-clock time, never plans. Cache keys cover the
+// catalog fingerprint, canonical query shape, environment-law digest,
+// plan-space options and algorithm, so any statistics or law change misses
+// cleanly and stale entries age out of the LRU — there is no explicit
+// invalidation to call. Cached reports share plan trees; treat returned
+// plans as immutable (Clone before mutating). Inside Algorithms A and B the
+// per-memory-bucket LSC runs are themselves parallelized; tune with
+// Options.Workers.
+//
 // See the examples/ directory for runnable programs and DESIGN.md /
 // EXPERIMENTS.md for the reproduction methodology.
 package lecopt
@@ -34,6 +63,7 @@ import (
 	"lecopt/internal/envsim"
 	"lecopt/internal/optimizer"
 	"lecopt/internal/plan"
+	"lecopt/internal/plancache"
 	"lecopt/internal/query"
 	"lecopt/internal/sqlmini"
 )
@@ -68,6 +98,16 @@ type (
 	Plan = plan.Node
 	// Options tunes the optimizer's plan space.
 	Options = optimizer.Options
+	// BatchJob is one unit of work for OptimizeBatch.
+	BatchJob = core.BatchJob
+	// BatchResult is the outcome of one BatchJob.
+	BatchResult = core.BatchResult
+	// BatchOptions tunes OptimizeBatch (worker count, plan cache).
+	BatchOptions = core.BatchOptions
+	// PlanCache memoizes PlanReports across repeated queries.
+	PlanCache = plancache.Cache[core.PlanReport]
+	// CacheStats snapshots a PlanCache's hit/miss counters.
+	CacheStats = plancache.Stats
 )
 
 // Algorithms.
@@ -121,3 +161,15 @@ func ExpectedCost(p *Plan, laws []Dist) (float64, error) {
 
 // EdgeKey canonically names a join edge for Scenario.SelLaws.
 func EdgeKey(j query.Join) string { return optimizer.EdgeKey(j) }
+
+// OptimizeBatch optimizes every job across a worker pool and returns the
+// results in job order; see the "Batch & concurrent use" package section.
+func OptimizeBatch(jobs []BatchJob, opts BatchOptions) []BatchResult {
+	return core.OptimizeBatch(jobs, opts)
+}
+
+// NewPlanCache returns a concurrency-safe LRU plan cache holding at most
+// capacity memoized PlanReports, for use with BatchOptions.Cache.
+func NewPlanCache(capacity int) *PlanCache {
+	return plancache.New[core.PlanReport](capacity)
+}
