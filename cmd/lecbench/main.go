@@ -3,15 +3,20 @@
 // run annotated against the paper's claims. With -workers it instead
 // drives a randomized batch-optimization workload through the concurrent
 // pipeline and reports throughput (plans/sec, allocs/op, cache hit rate),
-// writing the BENCH_batch.json regression artifact.
+// writing the BENCH_batch.json regression artifact. With -workload it runs
+// the engine-in-the-loop serving simulator — LSC and LEC plans optimized
+// per request and *executed* on the page-level engine under sampled memory
+// trajectories — writing the BENCH_workload.json realized-I/O artifact.
 //
 // Usage:
 //
-//	lecbench                      # run every experiment
-//	lecbench -run E1,E5           # selected experiments
-//	lecbench -list                # list experiment IDs and titles
-//	lecbench -workers=8 -cache    # batch throughput mode
-//	lecbench -workers=8 -qps=500  # paced offered load
+//	lecbench                         # run every experiment
+//	lecbench -run E1,E5              # selected experiments
+//	lecbench -list                   # list experiment IDs and titles
+//	lecbench -workers=8 -cache       # batch throughput mode
+//	lecbench -workers=8 -qps=500     # paced offered load
+//	lecbench -workload -json         # engine-in-the-loop workload mode
+//	lecbench -workload -requests=200 # quick smoke of the same
 package main
 
 import (
@@ -28,18 +33,51 @@ func main() {
 		runSpec = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 
-		workers   = flag.Int("workers", 0, "batch throughput mode: worker count (0 = experiment mode)")
-		requests  = flag.Int("requests", 2000, "throughput mode: total optimization requests")
+		workers   = flag.Int("workers", 0, "throughput mode: worker count (0 with -workload: GOMAXPROCS)")
+		requests  = flag.Int("requests", 2000, "throughput/workload mode: total requests")
 		distinct  = flag.Int("distinct", 64, "throughput mode: distinct scenarios in the pool")
 		useCache  = flag.Bool("cache", false, "throughput mode: memoize plans in an LRU cache")
-		cacheSize = flag.Int("cachesize", 4096, "throughput mode: plan-cache capacity")
+		cacheSize = flag.Int("cachesize", 4096, "throughput/workload mode: plan-cache capacity")
 		qps       = flag.Float64("qps", 0, "throughput mode: offered load limit in plans/sec (0 = unlimited)")
-		seed      = flag.Int64("seed", 1, "throughput mode: workload seed")
+		seed      = flag.Int64("seed", 1, "throughput/workload mode: workload seed")
 		alg       = flag.String("alg", "algorithm-c", "throughput mode: optimization algorithm")
-		jsonPath  = flag.String("json", "BENCH_batch.json", "throughput mode: perf artifact path (empty = skip)")
+
+		workloadM = flag.Bool("workload", false, "workload mode: engine-in-the-loop LSC-vs-LEC serving simulation")
+		queries   = flag.Int("queries", 0, "workload mode: distinct queries in the mix (0 = spec default)")
+		zipf      = flag.Float64("zipf", 0, "workload mode: popularity skew (0 = spec default)")
+
+		emitJSON = flag.Bool("json", true, "write the mode's JSON artifact")
+		outPath  = flag.String("out", "", "artifact path (default BENCH_batch.json / BENCH_workload.json by mode)")
 	)
 	flag.Parse()
-	if *workers > 0 {
+	artifact := func(def string) string {
+		if !*emitJSON {
+			return ""
+		}
+		if *outPath != "" {
+			return *outPath
+		}
+		return def
+	}
+	switch {
+	case *workloadM:
+		if *runSpec != "" || *list {
+			fmt.Fprintln(os.Stderr, "lecbench: -run/-list select experiments and cannot be combined with -workload")
+			os.Exit(1)
+		}
+		if *workers < 0 {
+			fmt.Fprintln(os.Stderr, "lecbench: -workers must be >= 0 (0 = GOMAXPROCS)")
+			os.Exit(1)
+		}
+		cfg := workloadModeConfig{
+			Requests: *requests, Queries: *queries, Zipf: *zipf,
+			Seed: *seed, Workers: *workers, CacheSize: *cacheSize,
+		}
+		if _, err := runWorkloadMode(cfg, artifact("BENCH_workload.json"), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "lecbench:", err)
+			os.Exit(1)
+		}
+	case *workers > 0:
 		if *runSpec != "" || *list {
 			fmt.Fprintln(os.Stderr, "lecbench: -run/-list select experiments and cannot be combined with -workers (throughput mode)")
 			os.Exit(1)
@@ -48,15 +86,15 @@ func main() {
 			Workers: *workers, Requests: *requests, Distinct: *distinct,
 			Cache: *useCache, CacheSize: *cacheSize, QPS: *qps, Seed: *seed, Alg: *alg,
 		}
-		if _, err := runThroughput(cfg, *jsonPath, os.Stdout); err != nil {
+		if _, err := runThroughput(cfg, artifact("BENCH_batch.json"), os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "lecbench:", err)
 			os.Exit(1)
 		}
-		return
-	}
-	if err := run(*runSpec, *list); err != nil {
-		fmt.Fprintln(os.Stderr, "lecbench:", err)
-		os.Exit(1)
+	default:
+		if err := run(*runSpec, *list); err != nil {
+			fmt.Fprintln(os.Stderr, "lecbench:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"lecopt"
+)
+
+// workloadModeConfig parameterizes one engine-in-the-loop serving run.
+type workloadModeConfig struct {
+	Requests  int
+	Queries   int     // 0: spec default
+	Zipf      float64 // 0: spec default
+	Seed      int64
+	Workers   int
+	CacheSize int
+}
+
+// runWorkloadMode drives the serving simulator over the default Zipf+Markov
+// mix (optionally resized/reskewed), prints a realized-I/O summary and
+// writes the BENCH_workload.json artifact — the empirical LSC-vs-LEC
+// ground truth future optimizer PRs are compared against.
+func runWorkloadMode(cfg workloadModeConfig, jsonPath string, w io.Writer) (*lecopt.WorkloadReport, error) {
+	spec, err := lecopt.DefaultWorkloadSpec()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Queries > 0 {
+		spec.Queries = cfg.Queries
+	}
+	if cfg.Zipf > 0 {
+		spec.ZipfS = cfg.Zipf
+	}
+	rep, err := lecopt.RunWorkload(spec, lecopt.WorkloadRun{
+		Requests:  cfg.Requests,
+		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+		CacheSize: cfg.CacheSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(w, "workload: %d requests over %d queries x %d tenants (zipf %.2f, seed %d)\n",
+		rep.Requests, rep.Queries, rep.Tenants, spec.ZipfS, rep.Seed)
+	fmt.Fprintf(w, "  realized I/O: %s=%d pages, %s=%d pages, ratio %.4f (predicted %.4f)\n",
+		rep.LSCAlgorithm, rep.TotalLSCIO, rep.LECAlgorithm, rep.TotalLECIO,
+		rep.RealizedRatio, rep.PredictedRatio)
+	fmt.Fprintf(w, "  per request: %d LEC wins, %d ties, %d losses (plans agree on %.0f%%)\n",
+		rep.Wins, rep.Ties, rep.Losses, 100*rep.PlanAgreementRate)
+	fmt.Fprintf(w, "  regret p50/p90/p99: LEC %.0f/%.0f/%.0f pages, LSC %.0f/%.0f/%.0f pages\n",
+		rep.LECRegretP50, rep.LECRegretP90, rep.LECRegretP99,
+		rep.LSCRegretP50, rep.LSCRegretP90, rep.LSCRegretP99)
+	fmt.Fprintf(w, "  %d distinct optimizations, plan cache %.1f%%, exec cache %.1f%%\n",
+		rep.DistinctOptimizations, 100*rep.PlanCacheHitRate, 100*rep.ExecCacheHitRate)
+	for _, ts := range rep.PerTenant {
+		fmt.Fprintf(w, "  tenant %-16s %4d req  ratio %.4f  (w/t/l %d/%d/%d)\n",
+			ts.Name, ts.Requests, ts.Ratio, ts.Wins, ts.Ties, ts.Losses)
+	}
+	claim := "HOLDS"
+	if rep.TotalLECIO > rep.TotalLSCIO {
+		claim = "VIOLATED"
+	}
+	fmt.Fprintf(w, "  claim (aggregate realized LEC <= LSC): %s\n", claim)
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return rep, err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return rep, err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", jsonPath)
+	}
+	return rep, nil
+}

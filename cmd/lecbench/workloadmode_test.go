@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lecopt"
+)
+
+// TestWorkloadModeEmitsArtifact: the workload mode must write a parseable
+// BENCH_workload.json that agrees with the returned report, and — the
+// ISSUE acceptance claim — show aggregate realized LEC I/O no worse than
+// LSC on the default fixed-seed mix.
+func TestWorkloadModeEmitsArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_workload.json")
+	var out strings.Builder
+	rep, err := runWorkloadMode(workloadModeConfig{Requests: 200, Seed: 1}, path, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 200 || rep.TotalLSCIO <= 0 || rep.TotalLECIO <= 0 {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	if rep.TotalLECIO > rep.TotalLSCIO {
+		t.Fatalf("acceptance claim violated: realized LEC %d > LSC %d", rep.TotalLECIO, rep.TotalLSCIO)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk lecopt.WorkloadReport
+	if err := json.Unmarshal(buf, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.TotalLSCIO != rep.TotalLSCIO || onDisk.TotalLECIO != rep.TotalLECIO ||
+		onDisk.Requests != rep.Requests {
+		t.Fatalf("artifact mismatch: %+v vs %+v", onDisk, rep)
+	}
+	for _, want := range []string{"realized I/O", "regret p50/p90/p99", "claim (aggregate realized LEC <= LSC): HOLDS", "wrote "} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestWorkloadModeOverrides(t *testing.T) {
+	rep, err := runWorkloadMode(workloadModeConfig{Requests: 60, Seed: 3, Queries: 5, Zipf: 2}, "", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 5 {
+		t.Fatalf("query override ignored: %d", rep.Queries)
+	}
+	// Skew 2 concentrates ~70%+ of requests on the hottest few queries, so
+	// the exec cache must be warm.
+	if rep.ExecCacheHitRate <= 0 {
+		t.Fatalf("no exec-cache reuse on a skewed stream: %+v", rep)
+	}
+}
+
+func TestWorkloadModeBadConfig(t *testing.T) {
+	if _, err := runWorkloadMode(workloadModeConfig{Requests: 0}, "", io.Discard); err == nil {
+		t.Fatal("zero requests should fail")
+	}
+}

@@ -23,7 +23,10 @@ func TestNoUnseededRand(t *testing.T) {
 	// constructors rand.New / rand.NewSource / rand.NewZipf.
 	forbidden := regexp.MustCompile(
 		`\brand\.(Intn?|Int31n?|Int63n?|Uint32|Uint64|Float32|Float64|NormFloat64|ExpFloat64|Perm|Shuffle|Seed|Read)\(`)
+	// Wall-clock seeds smuggle nondeterminism past the pattern above.
+	clockSeed := regexp.MustCompile(`rand\.NewSource\([^)]*time\.Now`)
 	var offenders []string
+	scanned := map[string]bool{}
 	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -37,12 +40,13 @@ func TestNoUnseededRand(t *testing.T) {
 		if !strings.HasSuffix(path, ".go") || path == "determinism_test.go" {
 			return nil
 		}
+		scanned[path] = true
 		src, err := os.ReadFile(path)
 		if err != nil {
 			return err
 		}
 		for i, line := range strings.Split(string(src), "\n") {
-			if forbidden.MatchString(line) {
+			if forbidden.MatchString(line) || clockSeed.MatchString(line) {
 				offenders = append(offenders, path+":"+strconv.Itoa(i+1)+": "+strings.TrimSpace(line))
 			}
 		}
@@ -54,5 +58,21 @@ func TestNoUnseededRand(t *testing.T) {
 	if len(offenders) > 0 {
 		t.Errorf("unseeded package-level math/rand calls (use rand.New(rand.NewSource(seed))):\n  %s",
 			strings.Join(offenders, "\n  "))
+	}
+	// Guard the audit's own coverage: every sampling-heavy package must be
+	// under the walk (a future SkipDir tweak silently exempting the
+	// workload generators or the serving runner would gut this test).
+	for _, mustSee := range []string{
+		"internal/workload/workload.go",
+		"internal/workload/serving/mix.go",
+		"internal/workload/serving/runner.go",
+		"internal/envsim/envsim.go",
+		"internal/dist/chain.go",
+		"cmd/lecbench/throughput.go",
+		"cmd/lecbench/workloadmode.go",
+	} {
+		if !scanned[mustSee] {
+			t.Errorf("determinism audit no longer scans %s", mustSee)
+		}
 	}
 }

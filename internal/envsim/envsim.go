@@ -173,6 +173,12 @@ func quantile(sorted []float64, q float64) float64 {
 	return sorted[idx]
 }
 
+// Quantile returns the q-quantile of an ascending-sorted sample under the
+// package's nearest-rank (floor) convention — exported so other layers
+// (the serving runner's regret percentiles) share one definition instead
+// of keeping copies in sync.
+func Quantile(sorted []float64, q float64) float64 { return quantile(sorted, q) }
+
 // Tournament compares named plans under a shared sampled environment
 // stream (common random numbers: every plan sees the same memory
 // sequences, which slashes comparison variance).

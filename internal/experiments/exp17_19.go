@@ -90,10 +90,15 @@ func E17EndToEnd() (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
-	plans := map[string]*plan.Node{}
-	plans["lsc@40"] = lscHi.Plan
+	// Ordered slice, not a map: row order must be deterministic for the
+	// golden-table diffing of the experiment outputs.
+	type namedPlan struct {
+		name string
+		p    *plan.Node
+	}
+	plans := []namedPlan{{"lsc@40", lscHi.Plan}}
 	if lec.Plan.Signature() != lscHi.Plan.Signature() {
-		plans["lec"] = lec.Plan
+		plans = append(plans, namedPlan{"lec", lec.Plan})
 	}
 
 	t := Table{
@@ -102,7 +107,8 @@ func E17EndToEnd() (Table, error) {
 		Headers: []string{"plan", "mem", "measured I/O", "model C(P,m)", "ratio"},
 	}
 	pass := true
-	for name, p := range plans {
+	for _, np := range plans {
+		name, p := np.name, np.p
 		prev := int64(-1)
 		for _, m := range []float64{7, 12, 40} {
 			res, err := eng.ExecutePlan(p, []float64{m, m})

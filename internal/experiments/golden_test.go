@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false,
+	"rewrite the golden experiment tables under testdata/golden")
+
+// volatileColumns lists, per experiment, the columns whose cells are
+// wall-clock measurements (or ratios of them). Everything else in every
+// table is seeded-deterministic, so the paper-reproduction numbers are
+// diff-checked cell by cell; timing cells are masked before comparison.
+var volatileColumns = map[string][]string{
+	"E8":  {"time/opt", "vs b=1"},
+	"E11": {"naive", "linear", "speedup"},
+	"E12": {"naive", "linear", "speedup"},
+	"E13": {"exact time", "rebucket time"},
+}
+
+// maskVolatile blanks wall-clock cells so the rendered table is
+// reproducible across runs and hosts.
+func maskVolatile(tab *Table) {
+	vol := volatileColumns[tab.ID]
+	if len(vol) == 0 {
+		return
+	}
+	volIdx := map[int]bool{}
+	for i, h := range tab.Headers {
+		for _, v := range vol {
+			if h == v {
+				volIdx[i] = true
+			}
+		}
+	}
+	if len(volIdx) != len(vol) {
+		panic(fmt.Sprintf("%s: volatile column list does not match headers %v", tab.ID, tab.Headers))
+	}
+	for _, row := range tab.Rows {
+		for i := range row {
+			if volIdx[i] {
+				row[i] = "<wall-clock>"
+			}
+		}
+	}
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".golden")
+}
+
+// TestGoldenTables pins every E1-E20 experiment output byte for byte:
+// paper-reproduction numbers are diff-checked, not just "ran without
+// error". A legitimate change to an experiment regenerates its golden
+// with:
+//
+//	go test ./internal/experiments -run TestGoldenTables -update
+//
+// Floating-point note: the goldens are rendered from pure Go float64
+// arithmetic with fixed seeds, which is bit-stable on a given
+// architecture; an FMA-fusing port (e.g. some arm64 code paths) that
+// shifts a printed digit should regenerate the goldens rather than weaken
+// the masking.
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite is not short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s failed to run: %v", e.ID, err)
+			}
+			maskVolatile(&tab)
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := goldenPath(e.ID)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden table (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Errorf("%s output drifted from golden.\n--- want (%s)\n%s\n--- got\n%s\n--- first diff: %s",
+					e.ID, path, want, buf.Bytes(), firstDiff(string(want), buf.String()))
+			}
+		})
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		w, g := "", ""
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d: want %q, got %q", i+1, w, g)
+		}
+	}
+	return "identical"
+}
+
+// TestGoldenCoverage: a golden file must exist for every experiment and
+// nothing else may squat in the golden directory — stale files would make
+// the suite look covered when it is not.
+func TestGoldenCoverage(t *testing.T) {
+	if *updateGolden {
+		t.Skip("directory is being rewritten")
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatalf("golden directory missing (run -update): %v", err)
+	}
+	want := map[string]bool{}
+	for _, e := range All() {
+		want[e.ID+".golden"] = false
+	}
+	for _, ent := range entries {
+		if _, ok := want[ent.Name()]; !ok {
+			t.Errorf("stray golden file %s", ent.Name())
+			continue
+		}
+		want[ent.Name()] = true
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("missing golden file %s", name)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+// Package serving is the engine-in-the-loop validation subsystem: it
+// generates *serving mixes* — engine-scale workloads pairing a catalog of
+// distinct queries (with physically materialized relations) with a Zipf
+// popularity law, per-tenant memory regimes and a Markov drift of the
+// optimizer's statistics — and Monte-Carlo-runs them, optimizing every
+// request with both the classical LSC policy and an LEC algorithm, then
+// *executing* both plans on the mini engine under shared sampled memory
+// trajectories. The Report compares realized (measured) physical I/O, not
+// analytic expected cost: the empirical check that the least-expected-cost
+// plan actually costs least over a distribution of environments.
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lecopt/internal/catalog"
+	"lecopt/internal/dist"
+	"lecopt/internal/engine"
+	"lecopt/internal/envsim"
+	"lecopt/internal/query"
+	"lecopt/internal/storage"
+	"lecopt/internal/workload"
+)
+
+// ErrBadMix reports an invalid mix specification.
+var ErrBadMix = errors.New("serving: invalid mix spec")
+
+// Tenant is one memory regime of a multi-tenant serving host: a name plus
+// the environment (initial law and optional Markov chain) its queries run
+// under.
+type Tenant struct {
+	Name string
+	Env  envsim.Env
+}
+
+// DriftSpec models correlated statistics drift: while a mix is served, the
+// true distinct-count of every join key walks away from what the catalog
+// recorded at "ANALYZE time". The walk is a sticky Markov chain over
+// multiplicative Factors (which must include the neutral 1), advanced once
+// per request and shared by all tables — drift is correlated, not
+// per-table noise. Both policies optimize against the same drifted
+// statistics; execution always runs on the true physical data.
+type DriftSpec struct {
+	Factors []float64
+	Stay    float64
+}
+
+// MixSpec controls serving-mix generation. All sizes are engine-scale:
+// relations are physically materialized and every request's plans are
+// actually executed, so page counts here are 10²-10³, not the 10⁵ of the
+// analytic specs above.
+type MixSpec struct {
+	Queries int     // distinct queries in the mix
+	ZipfS   float64 // popularity skew: query i is requested ∝ 1/(i+1)^ZipfS
+
+	MinTables, MaxTables int // tables per query (≥ 2: every plan joins)
+	MinPages, MaxPages   int // physical pages per base table
+	TuplesPerPage        int
+	KeyRange             int64 // join keys drawn from [0, KeyRange)
+	OrderByProb          float64
+	Shapes               []workload.Shape
+
+	Tenants []Tenant
+	Drift   DriftSpec
+}
+
+// DefaultMixSpec returns the canonical Zipf+Markov serving mix: 12 distinct
+// queries with skew 1.1, four tenants from DefaultTenants, and a ±2x sticky
+// statistics drift.
+func DefaultMixSpec() (MixSpec, error) {
+	tenants, err := DefaultTenants()
+	if err != nil {
+		return MixSpec{}, err
+	}
+	return MixSpec{
+		Queries:       12,
+		ZipfS:         1.1,
+		MinTables:     2,
+		MaxTables:     4,
+		MinPages:      8,
+		MaxPages:      64,
+		TuplesPerPage: 6,
+		KeyRange:      600,
+		OrderByProb:   0.4,
+		Shapes:        []workload.Shape{workload.Chain, workload.Star, workload.Random},
+		Tenants:       tenants,
+		Drift:         DriftSpec{Factors: []float64{0.5, 1, 2}, Stay: 0.85},
+	}, nil
+}
+
+// DefaultTenants returns the canonical multi-tenant memory regimes, from a
+// zero-variance batch tier (where LEC ≡ LSC) through static bimodal
+// pressure to sticky and volatile Markov memory. Levels are engine-scale
+// pages, chosen to straddle the sort-merge/grace-hash thresholds of tables
+// in the DefaultMixSpec size range.
+func DefaultTenants() ([]Tenant, error) {
+	levels := []float64{5, 9, 17, 40}
+	bimodal, err := dist.Bimodal(7, 40, 0.35)
+	if err != nil {
+		return nil, err
+	}
+	uniform, err := dist.Uniform(levels...)
+	if err != nil {
+		return nil, err
+	}
+	sticky, err := dist.Sticky(levels, 0.7)
+	if err != nil {
+		return nil, err
+	}
+	volatile, err := dist.RandomWalk(levels, 0.3, 0.45)
+	if err != nil {
+		return nil, err
+	}
+	return []Tenant{
+		{Name: "batch", Env: envsim.Env{Mem: dist.Point(40)}},
+		{Name: "interactive", Env: envsim.Env{Mem: bimodal}},
+		{Name: "shared-sticky", Env: envsim.Env{Mem: uniform, Chain: sticky}},
+		{Name: "shared-volatile", Env: envsim.Env{Mem: uniform, Chain: volatile}},
+	}, nil
+}
+
+// ServingQuery is one distinct query of a mix: the statistics catalog the
+// optimizer sees, the query block, and the materialized physical data the
+// engine executes against. Catalog statistics match the physical generator
+// exactly (pages, rows, key range), so at drift factor 1 the optimizer's
+// estimates are unbiased.
+type ServingQuery struct {
+	ID     int
+	Cat    *catalog.Catalog
+	Block  *query.Block
+	Store  *storage.Store
+	Eng    *engine.Engine
+	Phases int
+}
+
+// Mix is a generated serving workload, ready for Run.
+type Mix struct {
+	Spec       MixSpec
+	Queries    []*ServingQuery
+	Tenants    []Tenant
+	Popularity dist.Dist // law over query IDs (as float64 values)
+
+	driftChain *dist.Chain // nil: no statistics drift
+	driftInit  dist.Dist
+}
+
+// NewMix generates a serving mix from the spec using rng for all
+// randomness (same seed ⇒ same mix, including the physical tuples).
+func NewMix(spec MixSpec, rng *rand.Rand) (*Mix, error) {
+	if spec.Queries < 1 {
+		return nil, fmt.Errorf("%w: %d queries", ErrBadMix, spec.Queries)
+	}
+	if spec.MinTables < 2 || spec.MaxTables < spec.MinTables || spec.MaxTables > query.MaxTables {
+		return nil, fmt.Errorf("%w: tables range [%d, %d]", ErrBadMix, spec.MinTables, spec.MaxTables)
+	}
+	if spec.MinPages < 1 || spec.MaxPages < spec.MinPages || spec.TuplesPerPage < 1 || spec.KeyRange < 1 {
+		return nil, fmt.Errorf("%w: physical sizing", ErrBadMix)
+	}
+	if math.IsNaN(spec.ZipfS) || spec.ZipfS < 0 {
+		return nil, fmt.Errorf("%w: Zipf skew %v", ErrBadMix, spec.ZipfS)
+	}
+	if len(spec.Shapes) == 0 {
+		return nil, fmt.Errorf("%w: no shapes", ErrBadMix)
+	}
+	if len(spec.Tenants) == 0 {
+		return nil, fmt.Errorf("%w: no tenants", ErrBadMix)
+	}
+	for _, tn := range spec.Tenants {
+		if err := tn.Env.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: tenant %q: %v", ErrBadMix, tn.Name, err)
+		}
+	}
+	m := &Mix{Spec: spec, Tenants: spec.Tenants}
+	if len(spec.Drift.Factors) > 0 {
+		hasNeutral := false
+		for _, f := range spec.Drift.Factors {
+			if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("%w: drift factor %v", ErrBadMix, f)
+			}
+			if f == 1 {
+				hasNeutral = true
+			}
+		}
+		if !hasNeutral {
+			return nil, fmt.Errorf("%w: drift factors must include the neutral 1", ErrBadMix)
+		}
+		chain, err := dist.Sticky(spec.Drift.Factors, spec.Drift.Stay)
+		if err != nil {
+			return nil, fmt.Errorf("%w: drift chain: %v", ErrBadMix, err)
+		}
+		m.driftChain = chain
+		m.driftInit = dist.Point(1)
+	}
+	ids := make([]float64, spec.Queries)
+	for i := range ids {
+		ids[i] = float64(i)
+	}
+	pop, err := dist.Zipf(ids, spec.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+	m.Popularity = pop
+	for i := 0; i < spec.Queries; i++ {
+		q, err := generateServingQuery(i, spec, rng)
+		if err != nil {
+			return nil, err
+		}
+		m.Queries = append(m.Queries, q)
+	}
+	return m, nil
+}
+
+// generateServingQuery builds one query: a join block over freshly
+// materialized relations plus a catalog whose statistics agree with the
+// generator. Filters and indexes are deliberately absent — the executor
+// runs the physical shape only (no residual predicates, no index access
+// paths), and matched statistics keep the engine-vs-model comparison about
+// plan choice rather than estimation error.
+func generateServingQuery(id int, spec MixSpec, rng *rand.Rand) (*ServingQuery, error) {
+	tables := spec.MinTables + rng.Intn(spec.MaxTables-spec.MinTables+1)
+	shape := spec.Shapes[rng.Intn(len(spec.Shapes))]
+	cat := catalog.New()
+	store := storage.NewStore()
+	names := make([]string, tables)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+		pages := spec.MinPages + rng.Intn(spec.MaxPages-spec.MinPages+1)
+		rel, err := storage.Generate(storage.GenSpec{
+			Name: names[i], Pages: pages, TuplesPerPage: spec.TuplesPerPage, KeyRange: spec.KeyRange,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := store.Add(rel); err != nil {
+			return nil, err
+		}
+		tab, err := catalog.NewTable(names[i], float64(pages), float64(pages*spec.TuplesPerPage),
+			catalog.Column{Name: "k", Type: catalog.TypeInt, Distinct: float64(spec.KeyRange), Min: 0, Max: float64(spec.KeyRange)})
+		if err != nil {
+			return nil, err
+		}
+		if err := cat.AddTable(tab); err != nil {
+			return nil, err
+		}
+	}
+	blk := &query.Block{Tables: names}
+	join := func(i, j int) {
+		blk.Joins = append(blk.Joins, query.Join{
+			Left:  query.ColRef{Table: names[i], Column: "k"},
+			Right: query.ColRef{Table: names[j], Column: "k"},
+		})
+	}
+	switch shape {
+	case workload.Chain:
+		for i := 1; i < tables; i++ {
+			join(i-1, i)
+		}
+	case workload.Star:
+		for i := 1; i < tables; i++ {
+			join(0, i)
+		}
+	case workload.Clique:
+		for i := 0; i < tables; i++ {
+			for j := i + 1; j < tables; j++ {
+				join(i, j)
+			}
+		}
+	case workload.Random:
+		for i := 1; i < tables; i++ {
+			join(rng.Intn(i), i)
+		}
+	default:
+		return nil, fmt.Errorf("%w: shape %d", ErrBadMix, shape)
+	}
+	if rng.Float64() < spec.OrderByProb {
+		blk.OrderBy = &query.ColRef{Table: names[rng.Intn(tables)], Column: "k"}
+	}
+	if err := blk.Validate(cat); err != nil {
+		return nil, err
+	}
+	return &ServingQuery{
+		ID:     id,
+		Cat:    cat,
+		Block:  blk,
+		Store:  store,
+		Eng:    engine.New(store),
+		Phases: tables - 1,
+	}, nil
+}
+
+// driftedCatalog rebuilds a query's catalog with every join key's distinct
+// count scaled by factor (clamped to [1, rows]) — the stale statistics the
+// optimizer sees while the physical data stays put. Factor 1 returns the
+// catalog unchanged.
+func driftedCatalog(base *catalog.Catalog, factor float64) (*catalog.Catalog, error) {
+	if factor == 1 {
+		return base, nil
+	}
+	out := catalog.New()
+	for _, name := range base.TableNames() {
+		tab, err := base.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		cols := tab.Columns()
+		scaled := make([]catalog.Column, len(cols))
+		for i, c := range cols {
+			if c.Name == "k" {
+				d := math.Round(c.Distinct * factor)
+				if d < 1 {
+					d = 1
+				}
+				if d > tab.Rows {
+					d = tab.Rows
+				}
+				c.Distinct = d
+			}
+			scaled[i] = c
+		}
+		nt, err := catalog.NewTable(name, tab.Pages, tab.Rows, scaled...)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AddTable(nt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,200 @@
+package serving
+
+// Report is the outcome of one engine-in-the-loop run: realized (measured)
+// physical I/O of the LSC and LEC policies over the same request stream
+// and the same sampled memory trajectories. It is the BENCH_workload.json
+// artifact and the empirical ground truth future optimizer changes are
+// judged against.
+type Report struct {
+	Requests int   `json:"requests"`
+	Queries  int   `json:"queries"`
+	Tenants  int   `json:"tenants"`
+	Seed     int64 `json:"seed"`
+
+	LSCAlgorithm string `json:"lsc_algorithm"`
+	LECAlgorithm string `json:"lec_algorithm"`
+
+	// Aggregate realized physical I/O (pages read+written) of each
+	// policy over the whole stream, and their ratio (LEC/LSC; < 1 means
+	// the LEC policy realized less I/O).
+	TotalLSCIO    int64   `json:"total_lsc_io"`
+	TotalLECIO    int64   `json:"total_lec_io"`
+	RealizedRatio float64 `json:"realized_ratio"`
+
+	// Predicted ratio: request-weighted expected-cost ratio of the two
+	// chosen plans under the tenants' true environments — what the
+	// analytic layer promised before anything executed.
+	PredictedRatio float64 `json:"predicted_ratio"`
+
+	// Per-request outcome counts from the LEC policy's perspective
+	// (strict realized-I/O comparisons under the shared trajectory).
+	Wins   int `json:"lec_wins"`
+	Ties   int `json:"ties"`
+	Losses int `json:"lec_losses"`
+
+	// PlanAgreementRate is the fraction of requests where both policies
+	// chose physically identical plans (ties by construction).
+	PlanAgreementRate float64 `json:"plan_agreement_rate"`
+
+	// Per-request regret of each policy against the better of the two
+	// realized outcomes, in pages of I/O (nearest-rank percentiles).
+	LECRegretP50 float64 `json:"lec_regret_p50"`
+	LECRegretP90 float64 `json:"lec_regret_p90"`
+	LECRegretP99 float64 `json:"lec_regret_p99"`
+	LSCRegretP50 float64 `json:"lsc_regret_p50"`
+	LSCRegretP90 float64 `json:"lsc_regret_p90"`
+	LSCRegretP99 float64 `json:"lsc_regret_p99"`
+
+	// Cache effectiveness: the plan cache memoizes optimizations across
+	// the stream's repeats; the exec cache memoizes deterministic
+	// (query, plan, trajectory) executions.
+	DistinctOptimizations int     `json:"distinct_optimizations"`
+	PlanCacheHits         uint64  `json:"plan_cache_hits"`
+	PlanCacheMisses       uint64  `json:"plan_cache_misses"`
+	PlanCacheHitRate      float64 `json:"plan_cache_hit_rate"`
+	ExecCacheHits         int64   `json:"exec_cache_hits"`
+	ExecCacheMisses       int64   `json:"exec_cache_misses"`
+	ExecCacheHitRate      float64 `json:"exec_cache_hit_rate"`
+
+	PerQuery  []QueryStats  `json:"per_query"`
+	PerTenant []TenantStats `json:"per_tenant"`
+}
+
+// QueryStats is one query's realized totals.
+type QueryStats struct {
+	ID       int     `json:"id"`
+	Tables   int     `json:"tables"`
+	Requests int     `json:"requests"`
+	LSCIO    int64   `json:"lsc_io"`
+	LECIO    int64   `json:"lec_io"`
+	Ratio    float64 `json:"ratio"`
+	Wins     int     `json:"lec_wins"`
+	Ties     int     `json:"ties"`
+	Losses   int     `json:"lec_losses"`
+}
+
+// TenantStats is one memory regime's realized totals.
+type TenantStats struct {
+	Name     string  `json:"name"`
+	Requests int     `json:"requests"`
+	LSCIO    int64   `json:"lsc_io"`
+	LECIO    int64   `json:"lec_io"`
+	Ratio    float64 `json:"ratio"`
+	Wins     int     `json:"lec_wins"`
+	Ties     int     `json:"ties"`
+	Losses   int     `json:"lec_losses"`
+}
+
+// aggregator folds per-request outcomes into a Report.
+type aggregator struct {
+	mix *Mix
+	cfg RunConfig
+
+	totalLSC, totalLEC   int64
+	wins, ties, losses   int
+	agree                int
+	requests             int
+	lecRegret, lscRegret []float64
+	predLSC, predLEC     float64
+
+	perQuery  []QueryStats
+	perTenant []TenantStats
+}
+
+func newAggregator(m *Mix, cfg RunConfig) *aggregator {
+	a := &aggregator{mix: m, cfg: cfg}
+	a.perQuery = make([]QueryStats, len(m.Queries))
+	for i, q := range m.Queries {
+		a.perQuery[i] = QueryStats{ID: q.ID, Tables: len(q.Block.Tables)}
+	}
+	a.perTenant = make([]TenantStats, len(m.Tenants))
+	for i, tn := range m.Tenants {
+		a.perTenant[i] = TenantStats{Name: tn.Name}
+	}
+	return a
+}
+
+func (a *aggregator) observe(req request, pair planPair, lsc, lec execOutcome) {
+	a.requests++
+	a.totalLSC += lsc.io
+	a.totalLEC += lec.io
+	a.predLSC += pair.lscEC
+	a.predLEC += pair.lecEC
+	best := lsc.io
+	if lec.io < best {
+		best = lec.io
+	}
+	a.lecRegret = append(a.lecRegret, float64(lec.io-best))
+	a.lscRegret = append(a.lscRegret, float64(lsc.io-best))
+	win, tie := 0, 0
+	switch {
+	case lec.io < lsc.io:
+		a.wins++
+		win = 1
+	case lec.io == lsc.io:
+		a.ties++
+		tie = 1
+	default:
+		a.losses++
+	}
+	if pair.lsc.Signature() == pair.lec.Signature() {
+		a.agree++
+	}
+	q := &a.perQuery[req.query]
+	q.Requests++
+	q.LSCIO += lsc.io
+	q.LECIO += lec.io
+	q.Wins += win
+	q.Ties += tie
+	q.Losses += 1 - win - tie
+	t := &a.perTenant[req.tenant]
+	t.Requests++
+	t.LSCIO += lsc.io
+	t.LECIO += lec.io
+	t.Wins += win
+	t.Ties += tie
+	t.Losses += 1 - win - tie
+}
+
+func ratioOf(lec, lsc int64) float64 {
+	if lsc == 0 {
+		return 1
+	}
+	return float64(lec) / float64(lsc)
+}
+
+func (a *aggregator) report() *Report {
+	rep := &Report{
+		Requests:          a.requests,
+		Queries:           len(a.mix.Queries),
+		Tenants:           len(a.mix.Tenants),
+		Seed:              a.cfg.Seed,
+		LSCAlgorithm:      a.cfg.LSC.String(),
+		LECAlgorithm:      a.cfg.LEC.String(),
+		TotalLSCIO:        a.totalLSC,
+		TotalLECIO:        a.totalLEC,
+		RealizedRatio:     ratioOf(a.totalLEC, a.totalLSC),
+		Wins:              a.wins,
+		Ties:              a.ties,
+		Losses:            a.losses,
+		PlanAgreementRate: float64(a.agree) / float64(a.requests),
+		LECRegretP50:      percentile(a.lecRegret, 0.50),
+		LECRegretP90:      percentile(a.lecRegret, 0.90),
+		LECRegretP99:      percentile(a.lecRegret, 0.99),
+		LSCRegretP50:      percentile(a.lscRegret, 0.50),
+		LSCRegretP90:      percentile(a.lscRegret, 0.90),
+		LSCRegretP99:      percentile(a.lscRegret, 0.99),
+	}
+	if a.predLSC > 0 {
+		rep.PredictedRatio = a.predLEC / a.predLSC
+	}
+	for i := range a.perQuery {
+		a.perQuery[i].Ratio = ratioOf(a.perQuery[i].LECIO, a.perQuery[i].LSCIO)
+	}
+	for i := range a.perTenant {
+		a.perTenant[i].Ratio = ratioOf(a.perTenant[i].LECIO, a.perTenant[i].LSCIO)
+	}
+	rep.PerQuery = a.perQuery
+	rep.PerTenant = a.perTenant
+	return rep
+}

@@ -1,0 +1,264 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lecopt/internal/catalog"
+	"lecopt/internal/core"
+	"lecopt/internal/envsim"
+	"lecopt/internal/optimizer"
+	"lecopt/internal/plan"
+	"lecopt/internal/plancache"
+)
+
+// Runner errors.
+var (
+	ErrBadRun = errors.New("workload: invalid run config")
+)
+
+// RunConfig tunes one engine-in-the-loop Monte-Carlo run over a Mix.
+type RunConfig struct {
+	// Requests is the number of serving requests to simulate.
+	Requests int
+	// Seed drives all run-time randomness (request stream, memory
+	// trajectories, drift walk). Same mix + same config ⇒ same report.
+	Seed int64
+	// Workers bounds optimization concurrency (0 = GOMAXPROCS). Plan
+	// execution is sequential either way; workers never change results.
+	Workers int
+	// CacheSize is the plan-cache capacity (default 1024).
+	CacheSize int
+	// LSC and LEC select the two policies compared; zero values mean
+	// AlgLSCMode vs AlgC, the paper's classical-vs-least-expected-cost
+	// match-up. (AlgLSCMean is the Algorithm zero value, so an explicit
+	// lsc-mean baseline is still selectable via LSCSet.)
+	LSC, LEC core.Algorithm
+	// LSCSet marks LSC as explicitly chosen even when it equals the zero
+	// value AlgLSCMean.
+	LSCSet bool
+}
+
+func (cfg RunConfig) withDefaults() RunConfig {
+	if cfg.CacheSize < 1 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.LSC == 0 && !cfg.LSCSet {
+		cfg.LSC = core.AlgLSCMode
+	}
+	if cfg.LEC == 0 {
+		cfg.LEC = core.AlgC
+	}
+	return cfg
+}
+
+// request is one simulated serving request.
+type request struct {
+	query  int
+	tenant int
+	factor float64 // drift factor in force when the request was optimized
+}
+
+// optKey identifies one distinct optimization problem of a run: a query,
+// optimized under a tenant's environment against factor-drifted statistics.
+type optKey struct {
+	query  int
+	tenant int
+	factor float64
+}
+
+// planPair is the two policies' plans for one optKey.
+type planPair struct {
+	lsc, lec *plan.Node
+	lscEC    float64 // expected costs under the tenant's (true) environment
+	lecEC    float64
+}
+
+// execOutcome is one memoized plan execution.
+type execOutcome struct {
+	io      int64
+	phaseIO []int64
+}
+
+// Run simulates cfg.Requests serving requests against the mix: each
+// request samples a query by popularity, a tenant, and the current drift
+// factor; both policies' plans are optimized through the concurrent batch
+// pipeline (memoized in a plan cache); then both plans are *executed* on
+// the mini engine under one shared sampled memory trajectory (common
+// random numbers) and their realized physical I/O is accumulated into the
+// report. Executions are memoized by (query, plan, trajectory) — plans and
+// trajectories repeat heavily under Zipf popularity and few memory levels,
+// and re-executing an identical deterministic run would only burn time.
+func (m *Mix) Run(cfg RunConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Requests < 1 {
+		return nil, fmt.Errorf("%w: %d requests", ErrBadRun, cfg.Requests)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Drift trajectory: one factor per request, shared across tenants and
+	// queries (correlated drift).
+	factors := make([]float64, cfg.Requests)
+	if m.driftChain != nil {
+		seq, err := m.driftChain.SampleSeq(rng, m.driftInit, cfg.Requests)
+		if err != nil {
+			return nil, err
+		}
+		factors = seq
+	} else {
+		for i := range factors {
+			factors[i] = 1
+		}
+	}
+
+	// Request stream plus the distinct optimization problems it touches,
+	// in first-appearance order (deterministic job layout).
+	requests := make([]request, cfg.Requests)
+	var keys []optKey
+	keyIdx := map[optKey]int{}
+	for i := range requests {
+		q := int(m.Popularity.Sample(rng))
+		tn := rng.Intn(len(m.Tenants))
+		requests[i] = request{query: q, tenant: tn, factor: factors[i]}
+		k := optKey{query: q, tenant: tn, factor: factors[i]}
+		if _, ok := keyIdx[k]; !ok {
+			keyIdx[k] = len(keys)
+			keys = append(keys, k)
+		}
+	}
+
+	pairs, cacheStats, err := m.optimizeAll(keys, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Execute every request's two plans under one shared trajectory.
+	agg := newAggregator(m, cfg)
+	execCache := map[string]execOutcome{}
+	var execHits, execMisses int64
+	for _, req := range requests {
+		q := m.Queries[req.query]
+		memSeq, err := m.Tenants[req.tenant].Env.Sample(rng, q.Phases)
+		if err != nil {
+			return nil, err
+		}
+		pair := pairs[keyIdx[optKey{req.query, req.tenant, req.factor}]]
+		outcomes := make([]execOutcome, 2)
+		for pi, p := range []*plan.Node{pair.lsc, pair.lec} {
+			key := fmt.Sprintf("%d|%s|%v", req.query, p.Signature(), memSeq)
+			out, ok := execCache[key]
+			if ok {
+				execHits++
+			} else {
+				execMisses++
+				out, err = executeOnce(q, p, memSeq)
+				if err != nil {
+					return nil, fmt.Errorf("workload: query %d plan %d: %w", req.query, pi, err)
+				}
+				execCache[key] = out
+			}
+			outcomes[pi] = out
+		}
+		agg.observe(req, pair, outcomes[0], outcomes[1])
+	}
+	rep := agg.report()
+	rep.PlanCacheHits = cacheStats.Hits
+	rep.PlanCacheMisses = cacheStats.Misses
+	rep.PlanCacheHitRate = cacheStats.HitRate()
+	rep.ExecCacheHits = execHits
+	rep.ExecCacheMisses = execMisses
+	if execHits+execMisses > 0 {
+		rep.ExecCacheHitRate = float64(execHits) / float64(execHits+execMisses)
+	}
+	rep.DistinctOptimizations = len(keys)
+	return rep, nil
+}
+
+// optimizeAll runs both policies over every distinct optimization problem
+// through the concurrent batch pipeline.
+func (m *Mix) optimizeAll(keys []optKey, cfg RunConfig) ([]planPair, plancache.Stats, error) {
+	cache := plancache.New[core.PlanReport](cfg.CacheSize)
+	driftCats := map[driftCatKey]*catalog.Catalog{}
+	jobs := make([]core.BatchJob, 0, 2*len(keys))
+	for _, k := range keys {
+		q := m.Queries[k.query]
+		cat, err := m.catalogAt(driftCats, k.query, k.factor)
+		if err != nil {
+			return nil, plancache.Stats{}, err
+		}
+		sc := &core.Scenario{
+			Cat:   cat,
+			Query: q.Block,
+			Env:   m.Tenants[k.tenant].Env,
+			// The executor has no index access path, so the optimizer must
+			// not plan one.
+			Opts: optimizer.Options{DisableIndexes: true},
+		}
+		jobs = append(jobs,
+			core.BatchJob{Scenario: sc, Alg: cfg.LSC},
+			core.BatchJob{Scenario: sc, Alg: cfg.LEC},
+		)
+	}
+	results := core.OptimizeBatch(jobs, core.BatchOptions{Workers: cfg.Workers, Cache: cache})
+	pairs := make([]planPair, len(keys))
+	for i := range keys {
+		lsc, lec := results[2*i], results[2*i+1]
+		if lsc.Err != nil {
+			return nil, plancache.Stats{}, fmt.Errorf("workload: %s: %w", cfg.LSC, lsc.Err)
+		}
+		if lec.Err != nil {
+			return nil, plancache.Stats{}, fmt.Errorf("workload: %s: %w", cfg.LEC, lec.Err)
+		}
+		pairs[i] = planPair{
+			lsc: lsc.Report.Plan, lec: lec.Report.Plan,
+			lscEC: lsc.Report.EC, lecEC: lec.Report.EC,
+		}
+	}
+	return pairs, cache.Stats(), nil
+}
+
+type driftCatKey struct {
+	query  int
+	factor float64
+}
+
+// catalogAt returns query q's catalog drifted by factor, memoized so every
+// request optimized at the same drift level shares one catalog (and thus
+// one plan-cache fingerprint).
+func (m *Mix) catalogAt(memo map[driftCatKey]*catalog.Catalog, q int, factor float64) (*catalog.Catalog, error) {
+	k := driftCatKey{q, factor}
+	if c, ok := memo[k]; ok {
+		return c, nil
+	}
+	c, err := driftedCatalog(m.Queries[q].Cat, factor)
+	if err != nil {
+		return nil, err
+	}
+	memo[k] = c
+	return c, nil
+}
+
+// executeOnce runs one plan on the query's engine under the trajectory and
+// returns its realized I/O. The output relation is dropped so repeated
+// executions do not accumulate state.
+func executeOnce(q *ServingQuery, p *plan.Node, memSeq []float64) (execOutcome, error) {
+	res, err := q.Eng.ExecutePlan(p, memSeq)
+	if err != nil {
+		return execOutcome{}, err
+	}
+	q.Store.Drop(res.Output.Name)
+	return execOutcome{io: res.Stats.IO(), phaseIO: res.PhaseIO}, nil
+}
+
+// percentile returns the q-quantile of an unsorted sample via envsim's
+// shared nearest-rank Quantile.
+func percentile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	return envsim.Quantile(s, q)
+}

@@ -1,0 +1,118 @@
+package serving
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lecopt/internal/core"
+)
+
+func defaultMix(t *testing.T, seed int64) *Mix {
+	t.Helper()
+	spec, err := DefaultMixSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMix(spec, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRunLECBeatsLSC is the ISSUE acceptance check: on the default
+// Zipf+Markov mix, the LEC policy's aggregate realized I/O — measured by
+// actually executing both policies' plans on the page-level engine under
+// shared sampled memory trajectories — must not exceed the LSC policy's.
+func TestRunLECBeatsLSC(t *testing.T) {
+	m := defaultMix(t, 1)
+	rep, err := m.Run(RunConfig{Requests: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("realized: LSC=%d LEC=%d ratio=%.4f (predicted %.4f)",
+		rep.TotalLSCIO, rep.TotalLECIO, rep.RealizedRatio, rep.PredictedRatio)
+	t.Logf("wins=%d ties=%d losses=%d agree=%.2f", rep.Wins, rep.Ties, rep.Losses, rep.PlanAgreementRate)
+	t.Logf("regret LEC p50/p90/p99 = %.0f/%.0f/%.0f, LSC = %.0f/%.0f/%.0f",
+		rep.LECRegretP50, rep.LECRegretP90, rep.LECRegretP99,
+		rep.LSCRegretP50, rep.LSCRegretP90, rep.LSCRegretP99)
+	t.Logf("opt=%d plan-cache=%.2f exec-cache=%.2f",
+		rep.DistinctOptimizations, rep.PlanCacheHitRate, rep.ExecCacheHitRate)
+	for _, ts := range rep.PerTenant {
+		t.Logf("tenant %-16s req=%3d lsc=%7d lec=%7d ratio=%.4f w/t/l=%d/%d/%d",
+			ts.Name, ts.Requests, ts.LSCIO, ts.LECIO, ts.Ratio, ts.Wins, ts.Ties, ts.Losses)
+	}
+	if rep.TotalLECIO > rep.TotalLSCIO {
+		t.Fatalf("LEC realized more I/O than LSC: %d > %d", rep.TotalLECIO, rep.TotalLSCIO)
+	}
+	if rep.Requests != 300 || rep.Wins+rep.Ties+rep.Losses != 300 {
+		t.Fatalf("request accounting broken: %+v", rep)
+	}
+}
+
+// TestRunDeterministic: same mix seed + same run seed ⇒ identical reports,
+// regardless of worker count (optimization fan-out never changes results).
+func TestRunDeterministic(t *testing.T) {
+	a, err := defaultMix(t, 7).Run(RunConfig{Requests: 80, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := defaultMix(t, 7).Run(RunConfig{Requests: 80, Seed: 3, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalLSCIO != b.TotalLSCIO || a.TotalLECIO != b.TotalLECIO ||
+		a.Wins != b.Wins || a.Ties != b.Ties || a.Losses != b.Losses {
+		t.Fatalf("worker count changed realized outcome:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestRunPointLawDegenerates: with a single zero-variance tenant and no
+// drift, LEC and LSC coincide — every request must tie.
+func TestRunPointLawDegenerates(t *testing.T) {
+	spec, err := DefaultMixSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants, err := DefaultTenants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Tenants = tenants[:1] // "batch": Point(40)
+	spec.Drift = DriftSpec{}
+	m, err := NewMix(spec, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(RunConfig{Requests: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ties != 60 || rep.Wins != 0 || rep.Losses != 0 {
+		t.Fatalf("point law must tie everywhere: %+v", rep)
+	}
+	if rep.RealizedRatio != 1 {
+		t.Fatalf("ratio %v under a point law", rep.RealizedRatio)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	m := defaultMix(t, 1)
+	if _, err := m.Run(RunConfig{Requests: 0}); !errors.Is(err, ErrBadRun) {
+		t.Fatal("zero requests must fail")
+	}
+}
+
+// TestRunExplicitAlgorithms: the policies are selectable; lsc-mean vs
+// algorithm-c must still run end to end.
+func TestRunExplicitAlgorithms(t *testing.T) {
+	m := defaultMix(t, 2)
+	rep, err := m.Run(RunConfig{Requests: 40, Seed: 4, LSC: core.AlgLSCMean, LSCSet: true, LEC: core.AlgC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LSCAlgorithm != "lsc-mean" || rep.LECAlgorithm != "algorithm-c" {
+		t.Fatalf("algorithm labels wrong: %+v", rep)
+	}
+}

@@ -52,11 +52,31 @@
 // per-memory-bucket LSC runs are themselves parallelized; tune with
 // Options.Workers.
 //
+// # Empirical validation
+//
+// Analytic expected-cost comparisons are only as good as the cost model,
+// so the library ships an engine-in-the-loop workload simulator: it
+// generates a serving mix (Zipf query popularity, multi-tenant Markov
+// memory regimes, correlated statistics drift), optimizes every request
+// with both the classical LSC policy and an LEC algorithm, then actually
+// executes both plans on the page-level engine under shared sampled memory
+// trajectories and compares *measured* physical I/O:
+//
+//	spec, _ := lecopt.DefaultWorkloadSpec()
+//	rep, _ := lecopt.RunWorkload(spec, lecopt.WorkloadRun{Requests: 1000, Seed: 1})
+//	fmt.Println(rep.RealizedRatio <= 1) // LEC realized no more I/O than LSC
+//
+// The same report is produced by `lecbench -workload` as the
+// BENCH_workload.json artifact; see the README's "Empirical validation"
+// section for how to read it.
+//
 // See the examples/ directory for runnable programs and DESIGN.md /
 // EXPERIMENTS.md for the reproduction methodology.
 package lecopt
 
 import (
+	"math/rand"
+
 	"lecopt/internal/catalog"
 	"lecopt/internal/core"
 	"lecopt/internal/dist"
@@ -66,6 +86,7 @@ import (
 	"lecopt/internal/plancache"
 	"lecopt/internal/query"
 	"lecopt/internal/sqlmini"
+	"lecopt/internal/workload/serving"
 )
 
 // Re-exported core types. The aliases give external importers a stable
@@ -108,6 +129,15 @@ type (
 	PlanCache = plancache.Cache[core.PlanReport]
 	// CacheStats snapshots a PlanCache's hit/miss counters.
 	CacheStats = plancache.Stats
+	// WorkloadSpec configures serving-mix generation for RunWorkload.
+	WorkloadSpec = serving.MixSpec
+	// WorkloadTenant is one memory regime of a serving mix.
+	WorkloadTenant = serving.Tenant
+	// WorkloadRun tunes one engine-in-the-loop Monte-Carlo run.
+	WorkloadRun = serving.RunConfig
+	// WorkloadReport compares the realized I/O of the LSC and LEC
+	// policies over one simulated request stream.
+	WorkloadReport = serving.Report
 )
 
 // Algorithms.
@@ -172,4 +202,25 @@ func OptimizeBatch(jobs []BatchJob, opts BatchOptions) []BatchResult {
 // capacity memoized PlanReports, for use with BatchOptions.Cache.
 func NewPlanCache(capacity int) *PlanCache {
 	return plancache.New[core.PlanReport](capacity)
+}
+
+// DefaultWorkloadSpec returns the canonical Zipf+Markov serving mix: 12
+// distinct queries with skew 1.1, four tenant memory regimes (batch,
+// interactive, sticky-Markov, volatile-Markov) and a ±2x sticky drift of
+// the optimizer's statistics.
+func DefaultWorkloadSpec() (WorkloadSpec, error) { return serving.DefaultMixSpec() }
+
+// RunWorkload generates a serving mix from spec (mix generation and the
+// run stream are both seeded by cfg.Seed, so a report is reproducible from
+// its spec+config) and Monte-Carlo-runs it engine-in-the-loop: every
+// request is optimized with both policies through the batch pipeline, both
+// plans are executed on the page-level engine under one shared sampled
+// memory trajectory, and the realized physical I/O is aggregated into the
+// report; see the package section "Empirical validation".
+func RunWorkload(spec WorkloadSpec, cfg WorkloadRun) (*WorkloadReport, error) {
+	mix, err := serving.NewMix(spec, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	return mix.Run(cfg)
 }
