@@ -30,14 +30,16 @@ type throughputConfig struct {
 // future PRs compare against.
 type throughputReport struct {
 	throughputConfig
-	ElapsedSeconds float64 `json:"elapsed_seconds"`
-	PlansPerSec    float64 `json:"plans_per_sec"`
-	AllocsPerOp    float64 `json:"allocs_per_op"`
-	BytesPerOp     float64 `json:"bytes_per_op"`
-	CacheHits      uint64  `json:"cache_hits"`
-	CacheMisses    uint64  `json:"cache_misses"`
-	CacheHitRate   float64 `json:"cache_hit_rate"`
-	Errors         int     `json:"errors"`
+	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+	PlansPerSec     float64 `json:"plans_per_sec"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	BytesPerOp      float64 `json:"bytes_per_op"`
+	CacheHits       uint64  `json:"cache_hits"`
+	CacheMisses     uint64  `json:"cache_misses"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	CacheEvictions  uint64  `json:"cache_evictions"`
+	CacheShardSizes []int   `json:"cache_shard_occupancy"`
+	Errors          int     `json:"errors"`
 }
 
 func algByName(name string) (lecopt.Algorithm, error) {
@@ -49,11 +51,11 @@ func algByName(name string) (lecopt.Algorithm, error) {
 	return 0, fmt.Errorf("unknown algorithm %q (see lecopt.Algorithms)", name)
 }
 
-// buildJobs generates cfg.Distinct random scenarios (mixed shapes, sizes and
-// environments — all seeded, so a run is reproducible) and a request stream
-// of cfg.Requests jobs sampling them uniformly. Repeats in the stream are
-// what a plan cache exploits.
-func buildJobs(cfg throughputConfig) ([]lecopt.BatchJob, error) {
+// buildRequests generates cfg.Distinct random scenarios (mixed shapes,
+// sizes and environments — all seeded, so a run is reproducible) and a
+// request stream of cfg.Requests requests sampling them uniformly. Repeats
+// in the stream are what the handle's plan cache exploits.
+func buildRequests(cfg throughputConfig) ([]lecopt.Request, error) {
 	alg, err := algByName(cfg.Alg)
 	if err != nil {
 		return nil, err
@@ -64,20 +66,20 @@ func buildJobs(cfg throughputConfig) ([]lecopt.BatchJob, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	shapes := []workload.Shape{workload.Chain, workload.Star, workload.Clique, workload.Random}
-	scenarios := make([]*lecopt.Scenario, cfg.Distinct)
-	for i := range scenarios {
+	distinct := make([]lecopt.Request, cfg.Distinct)
+	for i := range distinct {
 		tables := 2 + rng.Intn(4) // 2..5 relations
 		sc, err := workload.Generate(workload.DefaultSpec(tables, shapes[rng.Intn(len(shapes))]), rng)
 		if err != nil {
 			return nil, err
 		}
-		scenarios[i] = &lecopt.Scenario{Cat: sc.Cat, Query: sc.Block, Env: envs[i%len(envs)].Env}
+		distinct[i] = lecopt.Request{Cat: sc.Cat, Query: sc.Block, Env: envs[i%len(envs)].Env, Alg: alg}
 	}
-	jobs := make([]lecopt.BatchJob, cfg.Requests)
-	for i := range jobs {
-		jobs[i] = lecopt.BatchJob{Scenario: scenarios[rng.Intn(len(scenarios))], Alg: alg}
+	reqs := make([]lecopt.Request, cfg.Requests)
+	for i := range reqs {
+		reqs[i] = distinct[rng.Intn(len(distinct))]
 	}
-	return jobs, nil
+	return reqs, nil
 }
 
 // runThroughput drives the batch pipeline and reports plans/sec, allocation
@@ -88,22 +90,23 @@ func runThroughput(cfg throughputConfig, jsonPath string, w io.Writer) (throughp
 	if cfg.Requests < 1 || cfg.Distinct < 1 {
 		return throughputReport{}, fmt.Errorf("requests and distinct must be positive")
 	}
-	jobs, err := buildJobs(cfg)
+	reqs, err := buildRequests(cfg)
 	if err != nil {
 		return throughputReport{}, err
 	}
-	opts := lecopt.BatchOptions{Workers: cfg.Workers}
-	var cache *lecopt.PlanCache
+	handleOpts := []lecopt.Option{lecopt.WithWorkers(cfg.Workers), lecopt.WithoutFeedback()}
 	if cfg.Cache {
-		cache = lecopt.NewPlanCache(cfg.CacheSize)
-		opts.Cache = cache
+		handleOpts = append(handleOpts, lecopt.WithPlanCache(cfg.CacheSize))
+	} else {
+		handleOpts = append(handleOpts, lecopt.WithoutPlanCache())
 	}
+	opt := lecopt.New(nil, handleOpts...)
 
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	var results []lecopt.BatchResult
+	var results []lecopt.Response
 	if cfg.QPS > 0 {
 		// Release ~10 slices a second, pacing against a start-anchored
 		// schedule: the next slice is not released before the instant by
@@ -111,19 +114,19 @@ func runThroughput(cfg throughputConfig, jsonPath string, w io.Writer) (throughp
 		// a flat interval instead would add the slice's own processing
 		// time to every cycle and systematically under-deliver the rate.
 		slice := int(math.Ceil(cfg.QPS / 10))
-		for off := 0; off < len(jobs); off += slice {
+		for off := 0; off < len(reqs); off += slice {
 			end := off + slice
-			if end > len(jobs) {
-				end = len(jobs)
+			if end > len(reqs) {
+				end = len(reqs)
 			}
-			results = append(results, lecopt.OptimizeBatch(jobs[off:end], opts)...)
-			if end < len(jobs) {
+			results = append(results, opt.OptimizeBatch(reqs[off:end])...)
+			if end < len(reqs) {
 				due := start.Add(time.Duration(float64(end) / cfg.QPS * float64(time.Second)))
 				time.Sleep(time.Until(due))
 			}
 		}
 	} else {
-		results = lecopt.OptimizeBatch(jobs, opts)
+		results = opt.OptimizeBatch(reqs)
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
@@ -139,22 +142,23 @@ func runThroughput(cfg throughputConfig, jsonPath string, w io.Writer) (throughp
 		if r.Err != nil {
 			rep.Errors++
 			if rep.Errors == 1 {
-				fmt.Fprintf(w, "first failure: job %d: %v\n", i, r.Err)
+				fmt.Fprintf(w, "first failure: request %d: %v\n", i, r.Err)
 			}
 		}
 	}
-	if cache != nil {
-		st := cache.Stats()
+	if cfg.Cache {
+		st := opt.CacheStats()
 		rep.CacheHits, rep.CacheMisses, rep.CacheHitRate = st.Hits, st.Misses, st.HitRate()
+		rep.CacheEvictions, rep.CacheShardSizes = st.Evictions, st.ShardSizes
 	}
 
 	fmt.Fprintf(w, "batch throughput: %d requests over %d scenarios, %d workers, cache=%v\n",
 		cfg.Requests, cfg.Distinct, cfg.Workers, cfg.Cache)
 	fmt.Fprintf(w, "  %.0f plans/sec (%.3fs elapsed), %.0f allocs/op, %.0f bytes/op\n",
 		rep.PlansPerSec, rep.ElapsedSeconds, rep.AllocsPerOp, rep.BytesPerOp)
-	if cache != nil {
-		fmt.Fprintf(w, "  cache: %d hits, %d misses, %.1f%% hit rate\n",
-			rep.CacheHits, rep.CacheMisses, 100*rep.CacheHitRate)
+	if cfg.Cache {
+		fmt.Fprintf(w, "  cache: %d hits, %d misses, %.1f%% hit rate, %d evictions\n",
+			rep.CacheHits, rep.CacheMisses, 100*rep.CacheHitRate, rep.CacheEvictions)
 	}
 	if rep.Errors > 0 {
 		return rep, fmt.Errorf("%d of %d jobs failed", rep.Errors, len(results))

@@ -17,6 +17,18 @@ type workloadModeConfig struct {
 	Seed      int64
 	Workers   int
 	CacheSize int
+	DriftBand float64 // 0: service default (banded); <= 1: exact keys
+	NoBands   bool    // skip the model-agreement band sweeps
+}
+
+// workloadArtifact is the BENCH_workload.json payload: the serving report
+// plus the model-agreement band sweeps with the feedback loop off and on,
+// so the executed-size feedback effect is tracked across PRs alongside
+// the realized-I/O trajectory.
+type workloadArtifact struct {
+	lecopt.WorkloadReport
+	ModelAgreementNoFeedback *lecopt.AgreementReport `json:"model_agreement_no_feedback,omitempty"`
+	ModelAgreementFeedback   *lecopt.AgreementReport `json:"model_agreement_feedback,omitempty"`
 }
 
 // runWorkloadMode drives the serving simulator over the default Zipf+Markov
@@ -39,6 +51,7 @@ func runWorkloadMode(cfg workloadModeConfig, jsonPath string, w io.Writer) (*lec
 		Seed:      cfg.Seed,
 		Workers:   cfg.Workers,
 		CacheSize: cfg.CacheSize,
+		DriftBand: cfg.DriftBand,
 	})
 	if err != nil {
 		return nil, err
@@ -54,8 +67,9 @@ func runWorkloadMode(cfg workloadModeConfig, jsonPath string, w io.Writer) (*lec
 	fmt.Fprintf(w, "  regret p50/p90/p99: LEC %.0f/%.0f/%.0f pages, LSC %.0f/%.0f/%.0f pages\n",
 		rep.LECRegretP50, rep.LECRegretP90, rep.LECRegretP99,
 		rep.LSCRegretP50, rep.LSCRegretP90, rep.LSCRegretP99)
-	fmt.Fprintf(w, "  %d distinct optimizations, plan cache %.1f%%, exec cache %.1f%%\n",
-		rep.DistinctOptimizations, 100*rep.PlanCacheHitRate, 100*rep.ExecCacheHitRate)
+	fmt.Fprintf(w, "  %d distinct optimizations, plan cache %.1f%% (drift band %g, %d evictions), exec cache %.1f%%\n",
+		rep.DistinctOptimizations, 100*rep.PlanCacheHitRate, rep.DriftBand,
+		rep.PlanCacheEvictions, 100*rep.ExecCacheHitRate)
 	for _, ts := range rep.PerTenant {
 		fmt.Fprintf(w, "  tenant %-16s %4d req  ratio %.4f  (w/t/l %d/%d/%d)\n",
 			ts.Name, ts.Requests, ts.Ratio, ts.Wins, ts.Ties, ts.Losses)
@@ -66,8 +80,29 @@ func runWorkloadMode(cfg workloadModeConfig, jsonPath string, w io.Writer) (*lec
 	}
 	fmt.Fprintf(w, "  claim (aggregate realized LEC <= LSC): %s\n", claim)
 
+	artifact := workloadArtifact{WorkloadReport: *rep}
+	if !cfg.NoBands {
+		// Model-agreement band sweep under the mix's drift axis, feedback
+		// off then on: the before/after effect of the executed-size loop.
+		agreeCfg := lecopt.AgreementConfig{Seed: cfg.Seed, DriftFactors: spec.Drift.Factors}
+		before, err := lecopt.MeasureModelAgreement(spec, agreeCfg)
+		if err != nil {
+			return rep, err
+		}
+		agreeCfg.Feedback = true
+		after, err := lecopt.MeasureModelAgreement(spec, agreeCfg)
+		if err != nil {
+			return rep, err
+		}
+		artifact.ModelAgreementNoFeedback = before
+		artifact.ModelAgreementFeedback = after
+		fmt.Fprintf(w, "  model agreement (NL): worst band %.2fx -> %.2fx, mean |log ratio| %.3f -> %.3f with feedback (%d observations)\n",
+			before.BandNL, after.BandNL, before.MeanAbsLogNL, after.MeanAbsLogNL,
+			after.FeedbackObservations)
+	}
+
 	if jsonPath != "" {
-		buf, err := json.MarshalIndent(rep, "", "  ")
+		buf, err := json.MarshalIndent(artifact, "", "  ")
 		if err != nil {
 			return rep, err
 		}

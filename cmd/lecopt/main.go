@@ -21,13 +21,12 @@ import (
 	"os"
 	"strings"
 
+	"lecopt"
+
 	"lecopt/internal/catalog"
 	"lecopt/internal/catio"
-	"lecopt/internal/core"
 	"lecopt/internal/dist"
-	"lecopt/internal/envsim"
 	"lecopt/internal/experiments"
-	"lecopt/internal/sqlmini"
 	"lecopt/internal/workload"
 )
 
@@ -59,15 +58,11 @@ func run(catalogPath, demo, sqlText, memSpec, chainSpec, algsSpec string, topC, 
 	if sqlText == "" {
 		return fmt.Errorf("-sql is required (e.g. \"SELECT * FROM A, B WHERE A.k = B.k\")")
 	}
-	blk, err := sqlmini.ParseAndValidate(sqlText, cat)
-	if err != nil {
-		return err
-	}
 	mem, err := catio.ParseMemLaw(memSpec)
 	if err != nil {
 		return err
 	}
-	env := envsim.Env{Mem: mem}
+	env := lecopt.Env{Mem: mem}
 	if chainSpec != "" {
 		chain, err := parseChain(chainSpec, mem)
 		if err != nil {
@@ -79,12 +74,23 @@ func run(catalogPath, demo, sqlText, memSpec, chainSpec, algsSpec string, topC, 
 	if err != nil {
 		return err
 	}
-	sc := &core.Scenario{Cat: cat, Query: blk, Env: env, TopC: topC}
-	reports, err := sc.Compare(algs...)
+	// One long-lived handle; the statement is prepared (parsed, validated,
+	// canonicalized) once and every algorithm optimizes it through the
+	// handle's plan cache.
+	opt := lecopt.New(cat, lecopt.WithTopC(topC))
+	prep, err := opt.Prepare(sqlText)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("query: %s\n", blk)
+	reports := make([]lecopt.PlanReport, 0, len(algs))
+	for _, a := range algs {
+		resp, err := prep.Optimize(env, a)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a, err)
+		}
+		reports = append(reports, resp.PlanReport)
+	}
+	fmt.Printf("query: %s\n", prep.Block())
 	fmt.Printf("memory law: %s", mem)
 	if env.Chain != nil {
 		fmt.Printf("  (dynamic: %s)", chainSpec)
@@ -99,7 +105,7 @@ func run(catalogPath, demo, sqlText, memSpec, chainSpec, algsSpec string, topC, 
 		}
 	}
 	if simulate > 0 {
-		res, err := sc.Tournament(reports, simulate, seed)
+		res, err := opt.Tournament(lecopt.Request{Prepared: prep, Env: env}, reports, simulate, seed)
 		if err != nil {
 			return err
 		}
@@ -135,12 +141,12 @@ func loadCatalog(path, demo string) (*catalog.Catalog, error) {
 	}
 }
 
-func parseAlgs(spec string) ([]core.Algorithm, error) {
-	byName := map[string]core.Algorithm{}
-	for _, a := range core.Algorithms {
+func parseAlgs(spec string) ([]lecopt.Algorithm, error) {
+	byName := map[string]lecopt.Algorithm{}
+	for _, a := range lecopt.Algorithms() {
 		byName[a.String()] = a
 	}
-	var out []core.Algorithm
+	var out []lecopt.Algorithm
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -148,7 +154,7 @@ func parseAlgs(spec string) ([]core.Algorithm, error) {
 		}
 		a, ok := byName[part]
 		if !ok {
-			return nil, fmt.Errorf("unknown algorithm %q (want one of %v)", part, core.Algorithms)
+			return nil, fmt.Errorf("unknown algorithm %q (want one of %v)", part, lecopt.Algorithms())
 		}
 		out = append(out, a)
 	}

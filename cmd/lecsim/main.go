@@ -13,13 +13,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
-	"lecopt/internal/core"
-	"lecopt/internal/envsim"
+	"lecopt"
+
 	"lecopt/internal/experiments"
-	"lecopt/internal/plan"
 	"lecopt/internal/query"
 	"lecopt/internal/workload"
 )
@@ -55,7 +53,7 @@ func run(envName string, queryIdx int, example bool, runs int, seed int64, listE
 		}
 		return nil
 	}
-	var env envsim.Env
+	var env lecopt.Env
 	found := false
 	for _, ne := range envs {
 		if ne.Name == envName {
@@ -67,24 +65,29 @@ func run(envName string, queryIdx int, example bool, runs int, seed int64, listE
 		return fmt.Errorf("unknown environment %q (use -list-envs)", envName)
 	}
 
+	// One long-lived handle serves the whole fleet; requests differ only
+	// in query (and the example's plan-space options).
 	type job struct {
 		name string
-		sc   *core.Scenario
+		req  lecopt.Request
 	}
 	var jobs []job
+	var opt *lecopt.Optimizer
 	if example {
 		cat, blk, err := experiments.Example11()
 		if err != nil {
 			return err
 		}
-		jobs = append(jobs, job{"example-1.1", &core.Scenario{Cat: cat, Query: blk, Env: env, Opts: experiments.Example11Opts()}})
+		opt = lecopt.New(cat, lecopt.WithPlanSpace(experiments.Example11Opts()))
+		jobs = append(jobs, job{"example-1.1", lecopt.Request{Query: blk, Env: env}})
 	} else {
 		cat, queries, err := workload.Warehouse()
 		if err != nil {
 			return err
 		}
+		opt = lecopt.New(cat)
 		pick := func(i int, q *query.Block) {
-			jobs = append(jobs, job{fmt.Sprintf("warehouse-Q%d", i+1), &core.Scenario{Cat: cat, Query: q, Env: env}})
+			jobs = append(jobs, job{fmt.Sprintf("warehouse-Q%d", i+1), lecopt.Request{Query: q, Env: env}})
 		}
 		if queryIdx > 0 {
 			if queryIdx > len(queries) {
@@ -101,15 +104,17 @@ func run(envName string, queryIdx int, example bool, runs int, seed int64, listE
 	fmt.Printf("environment %s, %d runs per query (seed %d)\n\n", envName, runs, seed)
 	var fleetLSC, fleetLEC float64
 	for _, j := range jobs {
-		reports, err := j.sc.Compare(core.AlgLSCMean, core.AlgC)
-		if err != nil {
-			return fmt.Errorf("%s: %w", j.name, err)
+		var reports []lecopt.PlanReport
+		for _, a := range []lecopt.Algorithm{lecopt.AlgLSCMean, lecopt.AlgC} {
+			req := j.req
+			req.Alg = a
+			resp, err := opt.Optimize(req)
+			if err != nil {
+				return fmt.Errorf("%s: %s: %w", j.name, a, err)
+			}
+			reports = append(reports, resp.PlanReport)
 		}
-		tour := &envsim.Tournament{
-			Names: []string{"lsc-mean", "algorithm-c"},
-			Plans: []*plan.Node{reports[0].Plan, reports[1].Plan},
-		}
-		res, err := tour.Run(j.sc.Env, runs, rand.New(rand.NewSource(seed)))
+		res, err := opt.Tournament(j.req, reports, runs, seed)
 		if err != nil {
 			return err
 		}

@@ -66,10 +66,14 @@ func TestNoUnseededRand(t *testing.T) {
 		"internal/workload/workload.go",
 		"internal/workload/serving/mix.go",
 		"internal/workload/serving/runner.go",
+		"internal/workload/serving/agreement.go",
 		"internal/envsim/envsim.go",
 		"internal/dist/chain.go",
+		"internal/core/service.go",
+		"internal/feedback/feedback.go",
 		"cmd/lecbench/throughput.go",
 		"cmd/lecbench/workloadmode.go",
+		"service.go",
 	} {
 		if !scanned[mustSee] {
 			t.Errorf("determinism audit no longer scans %s", mustSee)

@@ -1,0 +1,124 @@
+// API-equivalence differential harness: the stateful Optimizer service
+// must be a drop-in replacement for the legacy one-shot surface. Over the
+// 200-scenario corpus (differential_test.go), Optimizer.Optimize and
+// Optimizer.OptimizeBatch must return byte-identical PlanReports to
+// Scenario.Optimize — cold, and warm through the drift-banded plan cache.
+package lecopt
+
+import (
+	"testing"
+)
+
+// responseKey renders every PlanReport field of a Response, mirroring
+// batchReportKey for the service surface.
+func responseKey(r Response) string {
+	return batchReportKey(r.PlanReport)
+}
+
+// corpusRequest converts a corpus scenario into the service Request form.
+func corpusRequest(sc *Scenario, alg Algorithm) Request {
+	return Request{
+		Cat:   sc.Cat,
+		Query: sc.Query,
+		Env:   sc.Env,
+		Alg:   alg,
+	}
+}
+
+// TestEquivalenceOptimize runs each corpus scenario through a fresh
+// handle's Optimize and requires byte-identical reports to the legacy
+// Scenario.Optimize path, for a classical and an LEC algorithm.
+func TestEquivalenceOptimize(t *testing.T) {
+	corpus := diffCorpus(t)
+	for _, alg := range []Algorithm{AlgLSCMode, AlgC} {
+		opt := New(nil)
+		for i, sc := range corpus {
+			legacy, err := sc.Optimize(alg)
+			if err != nil {
+				t.Fatalf("scenario %d: legacy %s: %v", i, alg, err)
+			}
+			resp, err := opt.Optimize(corpusRequest(sc, alg))
+			if err != nil {
+				t.Fatalf("scenario %d: handle %s: %v", i, alg, err)
+			}
+			if got, want := responseKey(resp), batchReportKey(legacy); got != want {
+				t.Errorf("scenario %d (%s):\n got %s\nwant %s", i, alg, got, want)
+			}
+		}
+	}
+}
+
+// TestEquivalenceOptimizeBatch runs the whole corpus through a handle's
+// OptimizeBatch — cold, then warm on the same handle — and requires
+// byte-identical reports to the sequential legacy path both times, with
+// the warm pass fully served from the drift-banded plan cache.
+func TestEquivalenceOptimizeBatch(t *testing.T) {
+	corpus := diffCorpus(t)
+	reqs := make([]Request, len(corpus))
+	want := make([]string, len(corpus))
+	for i, sc := range corpus {
+		reqs[i] = corpusRequest(sc, AlgC)
+		rep, err := sc.Optimize(AlgC)
+		if err != nil {
+			t.Fatalf("scenario %d: sequential: %v", i, err)
+		}
+		want[i] = batchReportKey(rep)
+	}
+	check := func(label string, results []Response) {
+		t.Helper()
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("%s: scenario %d: %v", label, i, r.Err)
+			}
+			if got := responseKey(r); got != want[i] {
+				t.Errorf("%s: scenario %d:\n got %s\nwant %s", label, i, got, want[i])
+			}
+		}
+	}
+	opt := New(nil, WithWorkers(8))
+	check("cold", opt.OptimizeBatch(reqs))
+	warm := opt.OptimizeBatch(reqs)
+	check("warm", warm)
+	hits := 0
+	for _, r := range warm {
+		if r.CacheHit {
+			hits++
+		}
+	}
+	if hits != len(reqs) {
+		t.Errorf("warm pass: %d/%d cache hits", hits, len(reqs))
+	}
+	st := opt.CacheStats()
+	if st.Evictions != 0 {
+		t.Errorf("corpus should fit the default cache: %d evictions", st.Evictions)
+	}
+	occupancy := 0
+	for _, n := range st.ShardSizes {
+		occupancy += n
+	}
+	if occupancy != st.Size || st.Size == 0 {
+		t.Errorf("shard occupancy %d disagrees with size %d", occupancy, st.Size)
+	}
+}
+
+// TestEquivalenceDeprecatedWrappers pins that the deprecated free
+// functions still answer exactly like the handle they delegate to.
+func TestEquivalenceDeprecatedWrappers(t *testing.T) {
+	corpus := diffCorpus(t)[:40]
+	jobs := make([]BatchJob, len(corpus))
+	reqs := make([]Request, len(corpus))
+	for i, sc := range corpus {
+		jobs[i] = BatchJob{Scenario: sc, Alg: AlgC}
+		reqs[i] = corpusRequest(sc, AlgC)
+	}
+	legacy := OptimizeBatch(jobs, BatchOptions{Workers: 4, Cache: NewPlanCache(256)})
+	handle := New(nil, WithWorkers(4)).OptimizeBatch(reqs)
+	for i := range corpus {
+		if legacy[i].Err != nil || handle[i].Err != nil {
+			t.Fatalf("scenario %d: errs %v / %v", i, legacy[i].Err, handle[i].Err)
+		}
+		if got, want := batchReportKey(legacy[i].Report), responseKey(handle[i]); got != want {
+			t.Errorf("scenario %d:\n legacy %s\n handle %s", i, got, want)
+		}
+	}
+}

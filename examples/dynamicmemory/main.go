@@ -7,7 +7,8 @@
 //	static C:   LEC, but pretending the initial law holds for all phases
 //	dynamic C:  LEC with per-phase laws pushed through the chain
 //
-// — and then simulates real executions where memory actually drifts.
+// — and then simulates real executions where memory actually drifts. All
+// three policies run through one Optimizer service handle.
 //
 // Run with: go run ./examples/dynamicmemory
 package main
@@ -17,10 +18,9 @@ import (
 	"log"
 	"math/rand"
 
+	"lecopt"
+
 	"lecopt/internal/dist"
-	"lecopt/internal/envsim"
-	"lecopt/internal/optimizer"
-	"lecopt/internal/plan"
 	"lecopt/internal/workload"
 )
 
@@ -38,9 +38,9 @@ func main() {
 		log.Fatal(err)
 	}
 	init := dist.MustNew(levels, []float64{0.1, 0.3, 0.6})
-	env := envsim.Env{Mem: init, Chain: chain}
+	dynEnv := lecopt.Env{Mem: init, Chain: chain}
 
-	laws, err := env.PhaseLaws(len(sc.Block.Tables) - 1)
+	laws, err := dynEnv.PhaseLaws(len(sc.Block.Tables) - 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,41 +50,41 @@ func main() {
 	}
 	fmt.Println()
 
-	lsc, err := optimizer.LSC(sc.Cat, sc.Block, optimizer.Options{}, init.Mean())
+	opt := lecopt.New(sc.Cat)
+	lsc, err := opt.Optimize(lecopt.Request{Query: sc.Block, Env: lecopt.Env{Mem: init}, Alg: lecopt.AlgLSCMean})
 	if err != nil {
 		log.Fatal(err)
 	}
-	static, err := optimizer.AlgorithmC(sc.Cat, sc.Block, optimizer.Options{}, init)
+	static, err := opt.Optimize(lecopt.Request{Query: sc.Block, Env: lecopt.Env{Mem: init}, Alg: lecopt.AlgC})
 	if err != nil {
 		log.Fatal(err)
 	}
-	dynamic, err := optimizer.AlgorithmCDynamic(sc.Cat, sc.Block, optimizer.Options{}, init, chain)
+	dynamic, err := opt.Optimize(lecopt.Request{Query: sc.Block, Env: dynEnv, Alg: lecopt.AlgC})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	for _, entry := range []struct {
 		name string
-		p    *plan.Node
+		p    *lecopt.Plan
 	}{{"lsc-mean", lsc.Plan}, {"static-C", static.Plan}, {"dynamic-C", dynamic.Plan}} {
-		ec, err := optimizer.ExpectedCost(entry.p, laws)
+		ec, err := lecopt.ExpectedCost(entry.p, laws)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-10s EC under true phase laws: %.6g\n", entry.name, ec)
 	}
 
-	// Realized-cost tournament with common random numbers.
-	tour := &envsim.Tournament{
-		Names: []string{"lsc-mean", "static-C", "dynamic-C"},
-		Plans: []*plan.Node{lsc.Plan, static.Plan, dynamic.Plan},
-	}
-	res, err := tour.Run(env, 20000, rand.New(rand.NewSource(99)))
+	// Realized-cost tournament with common random numbers under the true
+	// dynamic environment.
+	reports := []lecopt.PlanReport{lsc.PlanReport, static.PlanReport, dynamic.PlanReport}
+	res, err := opt.Tournament(lecopt.Request{Query: sc.Block, Env: dynEnv}, reports, 20000, 99)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nrealized costs over 20000 simulated executions:")
-	for i, name := range res.Names {
+	names := []string{"lsc-mean", "static-C", "dynamic-C"}
+	for i, name := range names {
 		fmt.Printf("  %-10s mean %.6g  p95 %.6g\n", name, res.Stats[i].Mean, res.Stats[i].P95)
 	}
 }

@@ -11,6 +11,10 @@
 // least-expected-cost optimizer picks Plan 2, which is slightly worse 80%
 // of the time and vastly better 20% of the time.
 //
+// The program goes through the service API: build a long-lived Optimizer
+// handle over the catalog, prepare the statement once, and optimize it
+// under each policy.
+//
 // Run with: go run ./examples/quickstart
 package main
 
@@ -42,21 +46,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	blk, err := lecopt.ParseSQL("SELECT * FROM A, B WHERE A.k = B.k ORDER BY A.k", cat)
-	if err != nil {
-		log.Fatal(err)
-	}
 	mem, err := lecopt.Bimodal(700, 2000, 0.2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sc := &lecopt.Scenario{Cat: cat, Query: blk, Env: lecopt.Env{Mem: mem}}
+	env := lecopt.Env{Mem: mem}
 
-	classical, err := sc.Optimize(lecopt.AlgLSCMode)
+	// The long-lived handle owns the plan cache; Prepare parses and
+	// validates the statement once.
+	opt := lecopt.New(cat)
+	prep, err := opt.Prepare("SELECT * FROM A, B WHERE A.k = B.k ORDER BY A.k")
 	if err != nil {
 		log.Fatal(err)
 	}
-	lec, err := sc.Optimize(lecopt.AlgC)
+
+	classical, err := prep.Optimize(env, lecopt.AlgLSCMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lec, err := prep.Optimize(env, lecopt.AlgC)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +85,7 @@ func main() {
 		100*(1-lec.EC/classical.EC))
 
 	// Verify by simulation: 100k executions under the memory law.
-	st, err := sc.Simulate(lec.Plan, 100_000, 42)
+	st, err := opt.Simulate(lecopt.Request{Prepared: prep, Env: env}, lec.Plan, 100_000, 42)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,7 +7,8 @@
 //
 // This example optimizes a two-way join whose selectivity estimate may be
 // off by up to 5x in either direction and shows where the multi-parameter
-// plan diverges from the point-estimate plan.
+// plan diverges from the point-estimate plan. Both optimizations go
+// through one Optimizer handle; the uncertainty laws ride on the Request.
 //
 // Run with: go run ./examples/selectivity
 package main
@@ -16,17 +17,15 @@ import (
 	"fmt"
 	"log"
 
+	"lecopt"
+
 	"lecopt/internal/catalog"
-	"lecopt/internal/core"
 	"lecopt/internal/dist"
-	"lecopt/internal/envsim"
-	"lecopt/internal/optimizer"
-	"lecopt/internal/sqlmini"
 )
 
 func main() {
-	cat := catalog.New()
-	mustAdd := func(t *catalog.Table, err error) {
+	cat := lecopt.NewCatalog()
+	mustAdd := func(t *lecopt.Table, err error) {
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -34,16 +33,10 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	mustAdd(catalog.NewTable("orders", 40_000, 4_000_000,
-		catalog.Column{Name: "custkey", Type: catalog.TypeInt, Distinct: 4_000_000, Min: 0, Max: 1e9}))
-	mustAdd(catalog.NewTable("customer", 10_000, 1_000_000,
-		catalog.Column{Name: "custkey", Type: catalog.TypeInt, Distinct: 1_000_000, Min: 0, Max: 1e9}))
-
-	blk, err := sqlmini.ParseAndValidate(
-		"SELECT * FROM orders, customer WHERE orders.custkey = customer.custkey", cat)
-	if err != nil {
-		log.Fatal(err)
-	}
+	mustAdd(lecopt.NewTable("orders", 40_000, 4_000_000,
+		lecopt.Column{Name: "custkey", Type: catalog.TypeInt, Distinct: 4_000_000, Min: 0, Max: 1e9}))
+	mustAdd(lecopt.NewTable("customer", 10_000, 1_000_000,
+		lecopt.Column{Name: "custkey", Type: catalog.TypeInt, Distinct: 1_000_000, Min: 0, Max: 1e9}))
 
 	// Memory straddles grace-hash's √S threshold for some but not all of
 	// the plausible input sizes.
@@ -58,27 +51,35 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sc := &core.Scenario{
-		Cat:   cat,
-		Query: blk,
-		Env:   envsim.Env{Mem: mem},
-		SelLaws: map[string]dist.Dist{
-			optimizer.EdgeKey(blk.Joins[0]): sigma,
+	opt := lecopt.New(cat, lecopt.WithPlanSpace(lecopt.Options{SizeBuckets: 64}))
+	prep, err := opt.Prepare("SELECT * FROM orders, customer WHERE orders.custkey = customer.custkey")
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := lecopt.Env{Mem: mem}
+	req := lecopt.Request{
+		Prepared: prep,
+		Env:      env,
+		SelLaws: map[string]lecopt.Dist{
+			lecopt.EdgeKey(prep.Block().Joins[0]): sigma,
 		},
-		SizeLaws: map[string]dist.Dist{"orders": sizeOrders},
-		Opts:     optimizer.Options{SizeBuckets: 64},
+		SizeLaws: map[string]lecopt.Dist{"orders": sizeOrders},
 	}
 
-	pointPlan, err := sc.Optimize(core.AlgC) // point sizes & selectivities
+	pointReq := req
+	pointReq.Alg = lecopt.AlgC // point sizes & selectivities
+	pointPlan, err := opt.Optimize(pointReq)
 	if err != nil {
 		log.Fatal(err)
 	}
-	jointPlan, err := sc.Optimize(core.AlgD) // full Figure-1 distributions
+	jointReq := req
+	jointReq.Alg = lecopt.AlgD // full Figure-1 distributions
+	jointPlan, err := opt.Optimize(jointReq)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("query:", blk)
+	fmt.Println("query:", prep.Block())
 	fmt.Printf("memory law: %s\n", mem)
 	fmt.Printf("orders size law: %s\n", sizeOrders)
 	fmt.Printf("selectivity law: %s\n\n", sigma)

@@ -2,9 +2,9 @@
 // with queries that are "optimized once and then evaluated repeatedly,
 // often over many months or years". This example plans a star-schema
 // analytics fleet (a sales fact table with four dimensions) under a
-// volatile memory environment, then simulates thousands of executions and
-// totals the realized I/O of the classically-planned fleet versus the
-// LEC-planned fleet.
+// volatile memory environment through one long-lived Optimizer handle,
+// then simulates thousands of executions and totals the realized I/O of
+// the classically-planned fleet versus the LEC-planned fleet.
 //
 // Run with: go run ./examples/warehouse
 package main
@@ -12,11 +12,9 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
-	"lecopt/internal/core"
-	"lecopt/internal/envsim"
-	"lecopt/internal/plan"
+	"lecopt"
+
 	"lecopt/internal/workload"
 )
 
@@ -29,23 +27,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var env envsim.Env
+	var env lecopt.Env
 	for _, ne := range envs {
 		if ne.Name == "wide-spread" {
 			env = ne.Env
 		}
 	}
 
+	opt := lecopt.New(cat)
 	fmt.Printf("environment: memory %s\n\n", env.Mem)
 	const runsPerQuery = 5000
 	var fleetLSC, fleetLEC float64
 	for i, q := range queries {
-		sc := &core.Scenario{Cat: cat, Query: q, Env: env}
-		reports, err := sc.Compare(core.AlgLSCMean, core.AlgC)
+		req := lecopt.Request{Query: q, Env: env}
+		lscReq, lecReq := req, req
+		lscReq.Alg = lecopt.AlgLSCMean
+		lecReq.Alg = lecopt.AlgC
+		lsc, err := opt.Optimize(lscReq)
 		if err != nil {
 			log.Fatal(err)
 		}
-		lsc, lec := reports[0], reports[1]
+		lec, err := opt.Optimize(lecReq)
+		if err != nil {
+			log.Fatal(err)
+		}
 		same := "same plan"
 		if lsc.Plan.Signature() != lec.Plan.Signature() {
 			same = "plans differ"
@@ -57,11 +62,8 @@ func main() {
 			fmt.Printf("    lec plan:  %s\n", lec.Plan.Signature())
 		}
 
-		tour := &envsim.Tournament{
-			Names: []string{"lsc", "lec"},
-			Plans: []*plan.Node{lsc.Plan, lec.Plan},
-		}
-		res, err := tour.Run(env, runsPerQuery, rand.New(rand.NewSource(int64(i))))
+		res, err := opt.Tournament(req, []lecopt.PlanReport{lsc.PlanReport, lec.PlanReport},
+			runsPerQuery, int64(i))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -88,9 +88,11 @@ type Catalog struct {
 	byTable map[string][]*Index
 
 	// fp memoizes Fingerprint between mutations (guarded by fpMu, since
-	// concurrent optimizations share read-only catalogs).
-	fpMu sync.Mutex
-	fp   string
+	// concurrent optimizations share read-only catalogs); bandedFP
+	// memoizes BandedFingerprint per band base.
+	fpMu     sync.Mutex
+	fp       string
+	bandedFP map[float64]string
 }
 
 // New returns an empty catalog.

@@ -389,3 +389,113 @@ func TestColumnTypeAndOpStrings(t *testing.T) {
 		t.Fatal("unknown op string")
 	}
 }
+
+func TestScaleDistinct(t *testing.T) {
+	cat := New()
+	tab, err := NewTable("t", 100, 1000,
+		Column{Name: "k", Type: TypeInt, Distinct: 600, Min: 0, Max: 600},
+		Column{Name: "v", Type: TypeInt, Distinct: 10, Min: 0, Max: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddIndex(Index{Name: "ix", Table: "t", Column: "k", Height: 2}); err != nil {
+		t.Fatal(err)
+	}
+	same, err := cat.ScaleDistinct(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != cat {
+		t.Fatal("factor 1 must return the receiver")
+	}
+	up, err := cat.ScaleDistinct(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ut, err := up.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := ut.Column("k")
+	v, _ := ut.Column("v")
+	if k.Distinct != 1000 { // 1800 clamped to rows
+		t.Fatalf("k distinct: %v", k.Distinct)
+	}
+	if v.Distinct != 30 {
+		t.Fatalf("v distinct: %v", v.Distinct)
+	}
+	if _, err := up.Index("ix"); err != nil {
+		t.Fatal("indexes must be copied")
+	}
+	down, err := cat.ScaleDistinct(0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, _ := down.Table("t")
+	dk, _ := dt.Column("k")
+	if dk.Distinct != 1 { // floored at 1
+		t.Fatalf("floor clamp: %v", dk.Distinct)
+	}
+	if _, err := cat.ScaleDistinct(-1); err == nil {
+		t.Fatal("negative factor must fail")
+	}
+	// The original catalog is untouched.
+	ot, _ := cat.Table("t")
+	ok2, _ := ot.Column("k")
+	if ok2.Distinct != 600 {
+		t.Fatalf("receiver mutated: %v", ok2.Distinct)
+	}
+}
+
+func TestBandedFingerprint(t *testing.T) {
+	build := func(distinct float64) *Catalog {
+		c := New()
+		tab, err := NewTable("t", 100, 10_000,
+			Column{Name: "k", Type: TypeInt, Distinct: distinct, Min: 0, Max: 1e6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddTable(tab); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	base := build(600)
+	inBand := build(780)    // same log2 band [512, 1024)
+	outBand := build(2400)  // two bands up
+	clamped := build(20000) // clamps to rows
+	if base.BandedFingerprint(2) != inBand.BandedFingerprint(2) {
+		t.Fatal("in-band distinct counts must hash equal")
+	}
+	if base.BandedFingerprint(2) == outBand.BandedFingerprint(2) {
+		t.Fatal("cross-band distinct counts must differ")
+	}
+	if base.Fingerprint() == inBand.Fingerprint() {
+		t.Fatal("exact fingerprints must differ")
+	}
+	if clamped.BandedFingerprint(2) != build(10_000).BandedFingerprint(2) {
+		t.Fatal("distinct beyond rows must clamp to the row-count band")
+	}
+	// base <= 1 falls back to the exact fingerprint.
+	if base.BandedFingerprint(1) != base.Fingerprint() {
+		t.Fatal("band base 1 must be the exact fingerprint")
+	}
+	// Memoization survives and invalidates with mutations.
+	fp := base.BandedFingerprint(2)
+	if base.BandedFingerprint(2) != fp {
+		t.Fatal("memo broken")
+	}
+	tab2, err := NewTable("u", 10, 100, Column{Name: "k", Distinct: 5, Min: 0, Max: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.AddTable(tab2); err != nil {
+		t.Fatal(err)
+	}
+	if base.BandedFingerprint(2) == fp {
+		t.Fatal("mutation must invalidate the banded memo")
+	}
+}

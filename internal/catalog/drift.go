@@ -1,0 +1,56 @@
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ScaleDistinct returns a copy of the catalog with every column's distinct
+// count multiplied by factor and clamped to [1, rows] — the "stale
+// statistics" transform of multiplicative drift: the data the optimizer
+// believes in has drifted by factor from what ANALYZE recorded. Pages,
+// rows, histograms and indexes are copied unchanged (histogram bucket
+// counts describe value frequencies, which this drift model leaves alone).
+// Factor 1 returns the receiver itself.
+func (c *Catalog) ScaleDistinct(factor float64) (*Catalog, error) {
+	if factor == 1 {
+		return c, nil
+	}
+	if factor <= 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("%w: drift factor %v", ErrBadStats, factor)
+	}
+	out := New()
+	for _, name := range c.TableNames() {
+		t := c.tables[name]
+		cols := t.Columns()
+		for i, col := range cols {
+			d := math.Round(col.Distinct * factor)
+			if d < 1 {
+				d = 1
+			}
+			if d > t.Rows {
+				d = t.Rows
+			}
+			cols[i].Distinct = d
+		}
+		nt, err := NewTable(name, t.Pages, t.Rows, cols...)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AddTable(nt); err != nil {
+			return nil, err
+		}
+	}
+	ixNames := make([]string, 0, len(c.indexes))
+	for name := range c.indexes {
+		ixNames = append(ixNames, name)
+	}
+	sort.Strings(ixNames)
+	for _, name := range ixNames {
+		if err := out.AddIndex(*c.indexes[name]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -31,19 +32,67 @@ func (c *Catalog) Fingerprint() string {
 	return c.fp
 }
 
+// BandedFingerprint is Fingerprint with every column's distinct count
+// quantized into a geometric band of the given base before hashing: the
+// digest covers floor(log_base(min(distinct, rows))), not the exact value.
+// Two catalogs that differ only by statistics drift *within* a band —
+// e.g. an ANALYZE-time distinct count and its 2x-drifted descendant —
+// therefore hash equal, which is what lets a drift-banded plan cache keep
+// serving a drifting tenant from cache. Pages, rows, histograms and
+// indexes stay exact: the band absorbs the drift axis only.
+//
+// base must exceed 1; any other value falls back to the exact Fingerprint.
+// Digests are memoized per base until the next mutation.
+func (c *Catalog) BandedFingerprint(base float64) string {
+	if !(base > 1) {
+		return c.Fingerprint()
+	}
+	c.fpMu.Lock()
+	defer c.fpMu.Unlock()
+	if fp, ok := c.bandedFP[base]; ok {
+		return fp
+	}
+	fp := c.fingerprintBanded(base)
+	if c.bandedFP == nil {
+		c.bandedFP = make(map[float64]string)
+	}
+	c.bandedFP[base] = fp
+	return fp
+}
+
+// distinctBand quantizes a distinct count: the effective value is clamped
+// to [1, rows] (a distinct count beyond the row count is statistically
+// meaningless and is exactly what multiplicative drift produces), then
+// bucketed geometrically.
+func distinctBand(distinct, rows, base float64) int {
+	eff := distinct
+	if rows > 0 && eff > rows {
+		eff = rows
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	return int(math.Floor(math.Log(eff) / math.Log(base)))
+}
+
 // InvalidateFingerprint drops the memoized digest. AddTable/AddIndex call it
 // automatically; it is exported for callers that mutate registered table
 // statistics in place, which the memo cannot observe.
 func (c *Catalog) InvalidateFingerprint() { c.invalidateFingerprint() }
 
-// invalidateFingerprint drops the memoized digest after a mutation.
+// invalidateFingerprint drops the memoized digests after a mutation.
 func (c *Catalog) invalidateFingerprint() {
 	c.fpMu.Lock()
 	c.fp = ""
+	c.bandedFP = nil
 	c.fpMu.Unlock()
 }
 
-func (c *Catalog) fingerprint() string {
+func (c *Catalog) fingerprint() string { return c.fingerprintBanded(0) }
+
+// fingerprintBanded hashes the catalog with distinct counts either exact
+// (base <= 1) or quantized into geometric bands of the given base.
+func (c *Catalog) fingerprintBanded(base float64) string {
 	h := sha256.New()
 	for _, name := range c.TableNames() { // sorted
 		t := c.tables[name]
@@ -51,8 +100,13 @@ func (c *Catalog) fingerprint() string {
 		cols := append([]Column(nil), t.columns...)
 		sort.Slice(cols, func(i, j int) bool { return cols[i].Name < cols[j].Name })
 		for _, col := range cols {
-			fmt.Fprintf(h, "col %s type=%d distinct=%v min=%v max=%v\n",
-				col.Name, col.Type, col.Distinct, col.Min, col.Max)
+			if base > 1 {
+				fmt.Fprintf(h, "col %s type=%d dband=%d min=%v max=%v\n",
+					col.Name, col.Type, distinctBand(col.Distinct, t.Rows, base), col.Min, col.Max)
+			} else {
+				fmt.Fprintf(h, "col %s type=%d distinct=%v min=%v max=%v\n",
+					col.Name, col.Type, col.Distinct, col.Min, col.Max)
+			}
 			if col.Hist != nil {
 				col.Hist.fingerprint(h)
 			}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"lecopt/internal/plancache"
-	"lecopt/internal/pool"
 )
 
 // BatchJob is one unit of work for OptimizeBatch: optimize Scenario with Alg.
@@ -35,12 +34,21 @@ type BatchOptions struct {
 	Cache *plancache.Cache[PlanReport]
 }
 
-// CacheKey returns the plan-cache signature of optimizing this scenario with
-// alg. Scenarios whose keys are equal are optimized identically, so their
-// PlanReports may be shared; any change to the catalog statistics, query,
-// environment laws or options yields a new key (stale entries age out of the
-// LRU — there is no explicit invalidation).
+// CacheKey returns the exact-fingerprint plan-cache signature of optimizing
+// this scenario with alg. Scenarios whose keys are equal are optimized
+// identically, so their PlanReports may be shared; any change to the catalog
+// statistics, query, environment laws or options yields a new key (stale
+// entries age out of the LRU — there is no explicit invalidation).
 func (s *Scenario) CacheKey(alg Algorithm) (string, error) {
+	return s.CacheKeyBanded(alg, 0)
+}
+
+// CacheKeyBanded is CacheKey with a drift-banded catalog fingerprint:
+// distinct counts are bucketed into geometric bands of base driftBand
+// before hashing (catalog.BandedFingerprint), so statistics drift *within*
+// a band maps to the same key and a drifting tenant keeps hitting the
+// cached plan. driftBand <= 1 is the exact key.
+func (s *Scenario) CacheKeyBanded(alg Algorithm, driftBand float64) (string, error) {
 	if err := s.check(); err != nil {
 		return "", err
 	}
@@ -57,7 +65,7 @@ func (s *Scenario) CacheKey(alg Algorithm) (string, error) {
 		selLaws, sizeLaws = nil, nil
 	}
 	return plancache.Signature(s.Cat, s.Query, s.Env, selLaws, sizeLaws,
-		s.Opts, topC, alg.String()), nil
+		s.Opts, topC, alg.String(), driftBand), nil
 }
 
 // OptimizeBatch optimizes every job, fanning across opts.Workers goroutines,
@@ -70,56 +78,36 @@ func (s *Scenario) CacheKey(alg Algorithm) (string, error) {
 // Scenarios and their catalogs are read, never written, so jobs may share
 // them. Cached reports share plan trees; treat returned plans as immutable
 // (Clone before mutating).
+//
+// Deprecated: OptimizeBatch is the legacy free-function surface. It now
+// delegates to an ephemeral Optimizer handle with exact cache keys; new
+// code should hold a long-lived handle (NewOptimizer / lecopt.New) and
+// call its OptimizeBatch, which adds drift-banded caching and feedback.
 func OptimizeBatch(jobs []BatchJob, opts BatchOptions) []BatchResult {
-	results := make([]BatchResult, len(jobs))
-	if len(jobs) == 0 {
-		return results
-	}
-	workers := pool.Workers(opts.Workers, len(jobs))
-	runOne := func(i int) {
-		job := jobs[i]
-		if job.Scenario == nil {
-			results[i] = BatchResult{Err: ErrNilScenario}
-			return
-		}
-		key := ""
-		if opts.Cache != nil {
-			k, err := job.Scenario.CacheKey(job.Alg)
-			if err != nil {
-				results[i] = BatchResult{Err: err}
-				return
-			}
-			key = k
-			if rep, ok := opts.Cache.Get(key); ok {
-				results[i] = BatchResult{Report: rep, CacheHit: true}
-				return
-			}
-		}
-		sc := job.Scenario
-		if workers > 1 && sc.Opts.Workers == 0 {
-			// The batch pool already saturates the machine; letting A/B's
-			// per-bucket fan-out also default to GOMAXPROCS would stack
-			// P×P CPU-bound goroutines for no added parallelism. Shallow-
-			// copy rather than mutate — scenarios may be shared across
-			// jobs. Workers never changes results, so cache keys and
-			// sequential identity are unaffected.
-			cp := *sc
-			cp.Opts.Workers = 1
-			sc = &cp
-		}
-		rep, err := sc.Optimize(job.Alg)
-		if err != nil {
-			results[i] = BatchResult{Err: err}
-			return
-		}
-		if opts.Cache != nil {
-			opts.Cache.Put(key, rep)
-		}
-		results[i] = BatchResult{Report: rep}
-	}
-	pool.Run(len(jobs), workers, func(i int) error {
-		runOne(i) // failures land in results[i].Err, never abort the batch
-		return nil
+	o := NewOptimizer(nil, Config{
+		Workers: opts.Workers,
+		// Exact keys and no implicit cache: the legacy contract is
+		// memoize-only-when-asked with statistics-exact signatures.
+		CacheSize:       -1,
+		Cache:           opts.Cache,
+		DriftBand:       -1,
+		DisableFeedback: true,
 	})
+	reqs := make([]Request, len(jobs))
+	for i, j := range jobs {
+		if j.Scenario == nil {
+			continue // resolved to ErrNilScenario below
+		}
+		reqs[i] = Request{scenario: j.Scenario, Alg: j.Alg}
+	}
+	resps := o.OptimizeBatch(reqs)
+	results := make([]BatchResult, len(jobs))
+	for i, r := range resps {
+		if jobs[i].Scenario == nil {
+			results[i] = BatchResult{Err: ErrNilScenario}
+			continue
+		}
+		results[i] = BatchResult{Report: r.PlanReport, Err: r.Err, CacheHit: r.CacheHit}
+	}
 	return results
 }

@@ -1,0 +1,622 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"lecopt/internal/catalog"
+	"lecopt/internal/dist"
+	"lecopt/internal/envsim"
+	"lecopt/internal/feedback"
+	"lecopt/internal/optimizer"
+	"lecopt/internal/parametric"
+	"lecopt/internal/plan"
+	"lecopt/internal/plancache"
+	"lecopt/internal/pool"
+	"lecopt/internal/query"
+	"lecopt/internal/sqlmini"
+)
+
+// Service errors.
+var (
+	ErrNoCatalog  = errors.New("core: optimizer handle has no catalog (pass one to New, or set Request.Cat)")
+	ErrBadRequest = errors.New("core: request names no query (set SQL, Query or Prepared)")
+	ErrNoFeedback = errors.New("core: feedback must identify a query (set SQL, Query or Prepared)")
+)
+
+// Service defaults.
+const (
+	// DefaultDriftBand is the geometric band base for drift-banded plan
+	// cache keys: distinct counts within a factor-2 band hash equal.
+	DefaultDriftBand = 2
+	// DefaultCacheSize is the plan-cache capacity of a new handle.
+	DefaultCacheSize = 4096
+)
+
+// Config configures an Optimizer service handle. The root lecopt package
+// wraps it in functional options; zero values mean the documented
+// defaults.
+type Config struct {
+	// Workers bounds batch-optimization concurrency (0 = GOMAXPROCS).
+	Workers int
+	// CacheSize is the plan-cache capacity: 0 means DefaultCacheSize, a
+	// negative value disables the plan cache.
+	CacheSize int
+	// Cache, when non-nil, is used instead of a freshly built cache —
+	// share one across handles for a fleet-wide plan cache.
+	Cache *plancache.Cache[PlanReport]
+	// DriftBand is the geometric band base for drift-banded cache keys:
+	// 0 means DefaultDriftBand; any value <= 1 selects exact-fingerprint
+	// keys (the pre-handle behavior).
+	DriftBand float64
+	// PlanSpace is the default plan-space tuning applied to requests that
+	// carry no explicit Options.
+	PlanSpace optimizer.Options
+	// TopC is the default Algorithm B candidate-list depth.
+	TopC int
+	// DisableFeedback turns the executed-size feedback store off;
+	// Observe becomes a no-op and no hints flow into costing.
+	DisableFeedback bool
+	// FeedbackAlpha is the EWMA weight of each observation (0 uses
+	// feedback.DefaultAlpha).
+	FeedbackAlpha float64
+	// AnticipatedLaws is Prepare's memory axis: the [INSS92]-style family
+	// of anticipated memory distributions each prepared statement
+	// precomputes LEC plans for. Empty disables plan-set precomputation
+	// (Prepared.Select then falls back to full cached optimization).
+	AnticipatedLaws []dist.Dist
+	// DriftFactors is Prepare's drift axis: one plan set is precomputed
+	// per anticipated statistics-drift factor (empty means {1}).
+	DriftFactors []float64
+}
+
+// Optimizer is a concurrency-safe, long-lived optimization service: it
+// owns the plan cache, the worker pool, the prepared statements with
+// their parametric plan sets, and the executed-size feedback store. It is
+// the stateful counterpart of the one-shot Scenario API — the place where
+// cross-request state (cached plans, observed intermediate sizes,
+// precomputed plan sets) lives in a serving fleet.
+//
+// The handle may be bound to a catalog at construction (required for
+// Prepare and SQL-carrying requests); requests may override the catalog
+// per call, which is how multi-catalog servers and statistics drift are
+// expressed.
+type Optimizer struct {
+	cat  *catalog.Catalog
+	cfg  Config
+	band float64 // resolved drift band; 0 = exact keys
+
+	cache *plancache.Cache[PlanReport]
+	fb    *feedback.Store
+
+	mu       sync.Mutex
+	prepared map[string]*Prepared
+}
+
+// NewOptimizer builds a service handle over cat (which may be nil when
+// every request supplies its own catalog).
+func NewOptimizer(cat *catalog.Catalog, cfg Config) *Optimizer {
+	o := &Optimizer{cat: cat, cfg: cfg, prepared: make(map[string]*Prepared)}
+	o.band = ResolveDriftBand(cfg.DriftBand)
+	switch {
+	case cfg.Cache != nil:
+		o.cache = cfg.Cache
+	case cfg.CacheSize >= 0:
+		size := cfg.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		o.cache = plancache.New[PlanReport](size)
+	}
+	if !cfg.DisableFeedback {
+		o.fb = feedback.NewStore(cfg.FeedbackAlpha)
+	}
+	return o
+}
+
+// Request is one optimization request against the handle: the query (one
+// of SQL, Query or Prepared), the uncertainty model, and the algorithm.
+// It unifies the legacy Scenario/BatchJob split: everything a Scenario
+// carried is either here or defaulted from the handle's Config.
+type Request struct {
+	// SQL is parsed and validated against the effective catalog on every
+	// call; use Prepare to pay parsing and validation once.
+	SQL string
+	// Query is a pre-built validated block (takes precedence over SQL).
+	Query *query.Block
+	// Prepared binds the request to a prepared statement (takes
+	// precedence over Query and SQL).
+	Prepared *Prepared
+	// Cat overrides the handle's catalog for this request — how drifted
+	// or per-tenant statistics are supplied.
+	Cat *catalog.Catalog
+	// Env is the execution environment (memory law, optional chain).
+	Env envsim.Env
+	// Alg selects the optimization algorithm (zero value AlgLSCMean).
+	Alg Algorithm
+	// TopC overrides the handle's Algorithm B depth when positive.
+	TopC int
+	// SelLaws and SizeLaws are Algorithm D's uncertainty laws.
+	SelLaws  map[string]dist.Dist
+	SizeLaws map[string]dist.Dist
+	// Opts overrides the handle's plan-space options for this request.
+	Opts *optimizer.Options
+
+	// scenario short-circuits request resolution; set only by the legacy
+	// wrappers so the deprecated surface delegates through the handle.
+	scenario *Scenario
+}
+
+// Response is the outcome of one request. PlanReport is embedded, so the
+// plan, expected cost and optimizer bookkeeping read directly off it.
+type Response struct {
+	PlanReport
+	// CacheHit reports the report was served from the plan cache.
+	CacheHit bool
+	// Parametric reports the plan came from a prepared statement's
+	// precomputed plan set rather than a full optimization.
+	Parametric bool
+	// Err is the per-request failure in batch responses (nil on success).
+	Err error
+}
+
+// queryKey identifies a query for the feedback store: canonical query
+// shape plus the catalog fingerprint (drift-banded when banding is on, so
+// observations survive statistics drift exactly as cached plans do).
+func (o *Optimizer) queryKey(cat *catalog.Catalog, blk *query.Block) string {
+	if o.band > 1 {
+		return blk.Canonical() + "@" + cat.BandedFingerprint(o.band)
+	}
+	return blk.Canonical() + "@" + cat.Fingerprint()
+}
+
+// resolveQuery maps the shared (Prepared | Query | SQL, Cat override)
+// request vocabulary — used identically by Optimize and Observe — to a
+// concrete catalog and validated block.
+func (o *Optimizer) resolveQuery(reqCat *catalog.Catalog, prep *Prepared, blk *query.Block, sql string) (*catalog.Catalog, *query.Block, error) {
+	cat := reqCat
+	if cat == nil {
+		cat = o.cat
+	}
+	if prep != nil && blk == nil {
+		blk = prep.block
+	}
+	if blk == nil {
+		if sql == "" {
+			return nil, nil, ErrBadRequest
+		}
+		if cat == nil {
+			return nil, nil, ErrNoCatalog
+		}
+		parsed, err := sqlmini.ParseAndValidate(sql, cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		blk = parsed
+	}
+	if cat == nil {
+		return nil, nil, ErrNoCatalog
+	}
+	return cat, blk, nil
+}
+
+// scenario resolves a request into the internal Scenario form, folding in
+// handle defaults and feedback hints.
+func (o *Optimizer) scenario(req Request) (*Scenario, error) {
+	if req.scenario != nil {
+		return req.scenario, nil
+	}
+	cat, blk, err := o.resolveQuery(req.Cat, req.Prepared, req.Query, req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	opts := o.cfg.PlanSpace
+	if req.Opts != nil {
+		opts = *req.Opts
+	}
+	topC := req.TopC
+	if topC == 0 {
+		topC = o.cfg.TopC
+	}
+	if o.fb != nil {
+		if hints := o.fb.Hints(o.queryKey(cat, blk)); len(hints) > 0 {
+			merged := make(map[string]float64, len(hints)+len(opts.SizeHints))
+			for k, v := range hints {
+				merged[k] = v
+			}
+			for k, v := range opts.SizeHints { // explicit hints win
+				merged[k] = v
+			}
+			opts.SizeHints = merged
+		}
+	}
+	return &Scenario{
+		Cat: cat, Query: blk, Env: req.Env,
+		SelLaws: req.SelLaws, SizeLaws: req.SizeLaws,
+		Opts: opts, TopC: topC,
+	}, nil
+}
+
+// Optimize runs one request through the cache-then-optimize path.
+func (o *Optimizer) Optimize(req Request) (Response, error) {
+	sc, err := o.scenario(req)
+	if err != nil {
+		return Response{Err: err}, err
+	}
+	rep, hit, err := o.runOne(sc, req.Alg)
+	if err != nil {
+		return Response{Err: err}, err
+	}
+	return Response{PlanReport: rep, CacheHit: hit}, nil
+}
+
+// runOne serves one scenario from the plan cache or optimizes and caches.
+func (o *Optimizer) runOne(sc *Scenario, alg Algorithm) (PlanReport, bool, error) {
+	if o.cache == nil {
+		rep, err := sc.Optimize(alg)
+		return rep, false, err
+	}
+	key, err := sc.CacheKeyBanded(alg, o.band)
+	if err != nil {
+		return PlanReport{}, false, err
+	}
+	if rep, ok := o.cache.Get(key); ok {
+		return rep, true, nil
+	}
+	rep, err := sc.Optimize(alg)
+	if err != nil {
+		return PlanReport{}, false, err
+	}
+	o.cache.Put(key, rep)
+	return rep, false, nil
+}
+
+// OptimizeBatch optimizes every request across the handle's worker pool
+// and returns responses in request order; per-request failures land in
+// Response.Err and never abort the batch.
+//
+// Requests that share a plan-cache key are deduplicated deterministically:
+// the first request in order is the representative, is optimized once, and
+// every duplicate is served its report as a cache hit. With exact keys
+// this is pure memoization (equal keys imply equal reports); with
+// drift-banded keys it is what makes the batch *deterministic* — which
+// request of a band computes the shared plan no longer depends on worker
+// scheduling. Results are byte-identical to sequential Optimize calls
+// under exact keys, and independent of Workers under either key scheme.
+func (o *Optimizer) OptimizeBatch(reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	scs := make([]*Scenario, len(reqs))
+	for i := range reqs {
+		sc, err := o.scenario(reqs[i])
+		if err != nil {
+			out[i] = Response{Err: err}
+			continue
+		}
+		scs[i] = sc
+	}
+	workers := pool.Workers(o.cfg.Workers, len(reqs))
+	damp := func(sc *Scenario) *Scenario {
+		if workers > 1 && sc.Opts.Workers == 0 {
+			// The batch pool already saturates the machine; letting A/B's
+			// per-bucket fan-out also default to GOMAXPROCS would stack
+			// P×P CPU-bound goroutines for no added parallelism. Shallow-
+			// copy rather than mutate — scenarios may be shared.
+			cp := *sc
+			cp.Opts.Workers = 1
+			return &cp
+		}
+		return sc
+	}
+	if o.cache == nil {
+		pool.Run(len(reqs), workers, func(i int) error {
+			if scs[i] == nil {
+				return nil
+			}
+			rep, err := damp(scs[i]).Optimize(reqs[i].Alg)
+			if err != nil {
+				out[i] = Response{Err: err}
+			} else {
+				out[i] = Response{PlanReport: rep}
+			}
+			return nil
+		})
+		return out
+	}
+	// Group requests by cache key in first-appearance order.
+	type group struct {
+		rep  int
+		dups []int
+	}
+	var keys []string
+	groups := make(map[string]*group)
+	for i := range reqs {
+		if scs[i] == nil {
+			continue
+		}
+		k, err := scs[i].CacheKeyBanded(reqs[i].Alg, o.band)
+		if err != nil {
+			out[i] = Response{Err: err}
+			scs[i] = nil
+			continue
+		}
+		if g, ok := groups[k]; ok {
+			g.dups = append(g.dups, i)
+		} else {
+			groups[k] = &group{rep: i}
+			keys = append(keys, k)
+		}
+	}
+	pool.Run(len(keys), pool.Workers(workers, len(keys)), func(gi int) error {
+		key := keys[gi]
+		g := groups[key]
+		i := g.rep
+		if rep, ok := o.cache.Get(key); ok {
+			out[i] = Response{PlanReport: rep, CacheHit: true}
+		} else {
+			rep, err := damp(scs[i]).Optimize(reqs[i].Alg)
+			if err != nil {
+				out[i] = Response{Err: err}
+			} else {
+				o.cache.Put(key, rep)
+				out[i] = Response{PlanReport: rep}
+			}
+		}
+		for _, d := range g.dups {
+			if out[i].Err != nil {
+				out[d] = out[i]
+				continue
+			}
+			if rep, ok := o.cache.Get(key); ok { // counts the duplicate's lookup
+				out[d] = Response{PlanReport: rep, CacheHit: true}
+			} else { // evicted under pressure mid-batch: reuse the answer
+				out[d] = out[i]
+			}
+		}
+		return nil
+	})
+	return out
+}
+
+// Feedback carries one execution's observed intermediate-result sizes
+// back to the handle: Sizes maps feedback.SetKey over joined table names
+// to observed pages — exactly the engine's ExecResult.JoinSizes. The
+// query is identified the same way a Request is (Prepared, Query or SQL,
+// with Cat overriding the handle catalog).
+type Feedback struct {
+	SQL      string
+	Query    *query.Block
+	Prepared *Prepared
+	Cat      *catalog.Catalog
+	Sizes    map[string]float64
+}
+
+// Observe folds executed sizes into the feedback store; subsequent
+// optimizations of the same query cost with the observed sizes instead of
+// selectivity-product estimates (and, because hints are hashed into cache
+// keys, stale cached plans miss cleanly). A handle configured with
+// DisableFeedback ignores observations.
+func (o *Optimizer) Observe(fb Feedback) error {
+	if o.fb == nil || len(fb.Sizes) == 0 {
+		return nil
+	}
+	cat, blk, err := o.resolveQuery(fb.Cat, fb.Prepared, fb.Query, fb.SQL)
+	if err != nil {
+		if errors.Is(err, ErrBadRequest) {
+			return ErrNoFeedback
+		}
+		return err
+	}
+	o.fb.Observe(o.queryKey(cat, blk), fb.Sizes)
+	return nil
+}
+
+// Simulate Monte-Carlo-executes a plan's cost model under the request's
+// environment (the request only needs a query and an environment).
+func (o *Optimizer) Simulate(req Request, p *plan.Node, runs int, seed int64) (envsim.RunStats, error) {
+	sc, err := o.scenario(req)
+	if err != nil {
+		return envsim.RunStats{}, err
+	}
+	return sc.Simulate(p, runs, seed)
+}
+
+// Tournament runs a common-random-numbers realized-cost comparison of the
+// given reports' plans under the request's environment.
+func (o *Optimizer) Tournament(req Request, reports []PlanReport, runs int, seed int64) (envsim.TournamentResult, error) {
+	sc, err := o.scenario(req)
+	if err != nil {
+		return envsim.TournamentResult{}, err
+	}
+	return sc.Tournament(reports, runs, seed)
+}
+
+// CacheStats snapshots the handle's plan cache (zero when disabled).
+func (o *Optimizer) CacheStats() plancache.Stats {
+	if o.cache == nil {
+		return plancache.Stats{}
+	}
+	return o.cache.Stats()
+}
+
+// FeedbackStats reports the feedback store's distinct queries and total
+// folded observations (zeros when feedback is disabled).
+func (o *Optimizer) FeedbackStats() (queries int, observations uint64) {
+	if o.fb == nil {
+		return 0, 0
+	}
+	return o.fb.Queries(), o.fb.Observations()
+}
+
+// DriftBand returns the resolved cache-key band base (0 = exact keys).
+func (o *Optimizer) DriftBand() float64 { return o.band }
+
+// ResolveDriftBand maps a Config.DriftBand value to the effective band
+// base: 0 means DefaultDriftBand, values <= 1 mean exact keys (0).
+func ResolveDriftBand(v float64) float64 {
+	switch {
+	case v == 0:
+		return DefaultDriftBand
+	case v > 1:
+		return v
+	default:
+		return 0
+	}
+}
+
+// --- prepared statements -------------------------------------------------
+
+// Prepared is a prepared statement: the query parsed, validated and
+// canonicalized once, plus [INSS92]-style parametric plan sets — one LEC
+// plan per anticipated memory law, per anticipated drift factor — for
+// start-up-time plan selection without a plan-space search.
+type Prepared struct {
+	opt       *Optimizer
+	sql       string
+	block     *query.Block
+	canonical string
+	sets      []preparedSet
+}
+
+// preparedSet is the plan set precomputed for one drift factor.
+type preparedSet struct {
+	factor float64
+	plans  *parametric.Cache
+}
+
+// Prepare parses, validates and canonicalizes sql against the handle's
+// catalog once, and — when the handle is configured with anticipated
+// memory laws — precomputes the parametric plan sets over the memory and
+// drift axes. Prepared statements are memoized by SQL text: preparing the
+// same text twice returns the same handle.
+func (o *Optimizer) Prepare(sql string) (*Prepared, error) {
+	if o.cat == nil {
+		return nil, ErrNoCatalog
+	}
+	o.mu.Lock()
+	if p, ok := o.prepared[sql]; ok {
+		o.mu.Unlock()
+		return p, nil
+	}
+	o.mu.Unlock()
+	blk, err := sqlmini.ParseAndValidate(sql, o.cat)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{opt: o, sql: sql, block: blk, canonical: blk.Canonical()}
+	if len(o.cfg.AnticipatedLaws) > 0 {
+		factors := o.cfg.DriftFactors
+		if len(factors) == 0 {
+			factors = []float64{1}
+		}
+		opts := o.cfg.PlanSpace
+		for _, f := range factors {
+			cat, err := o.cat.ScaleDistinct(f)
+			if err != nil {
+				return nil, fmt.Errorf("core: prepare: %w", err)
+			}
+			plans, err := parametric.Precompute(cat, blk, opts, o.cfg.AnticipatedLaws)
+			if err != nil {
+				return nil, fmt.Errorf("core: prepare: %w", err)
+			}
+			p.sets = append(p.sets, preparedSet{factor: f, plans: plans})
+		}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if exist, ok := o.prepared[sql]; ok { // lost a concurrent Prepare race
+		return exist, nil
+	}
+	o.prepared[sql] = p
+	return p, nil
+}
+
+// SQL returns the prepared statement's text.
+func (p *Prepared) SQL() string { return p.sql }
+
+// Block returns the validated query block.
+func (p *Prepared) Block() *query.Block { return p.block }
+
+// Canonical returns the canonical query shape.
+func (p *Prepared) Canonical() string { return p.canonical }
+
+// PlanSets returns the number of precomputed drift-axis plan sets.
+func (p *Prepared) PlanSets() int { return len(p.sets) }
+
+// Optimize runs a full (cached) optimization of the prepared query.
+func (p *Prepared) Optimize(env envsim.Env, alg Algorithm) (Response, error) {
+	return p.opt.Optimize(Request{Prepared: p, Env: env, Alg: alg})
+}
+
+// setFor returns the plan set whose drift factor is nearest (in log
+// ratio) to factor, or nil when none were precomputed.
+func (p *Prepared) setFor(factor float64) *preparedSet {
+	if len(p.sets) == 0 || factor <= 0 {
+		return nil
+	}
+	best := -1
+	bestD := math.Inf(1)
+	for i := range p.sets {
+		d := math.Abs(math.Log(p.sets[i].factor) - math.Log(factor))
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return &p.sets[best]
+}
+
+// Entries returns the plan-set entries precomputed for the drift factor
+// nearest to factor (nil when Prepare ran without anticipated laws).
+func (p *Prepared) Entries(factor float64) []parametric.Entry {
+	s := p.setFor(factor)
+	if s == nil {
+		return nil
+	}
+	return s.plans.Entries()
+}
+
+// Nearest returns the precomputed entry whose anticipated law is closest
+// (1-Wasserstein) to the actual start-up-time law — the paper's "simple
+// table lookup" — from the neutral-drift plan set.
+func (p *Prepared) Nearest(mem dist.Dist) (parametric.Entry, error) {
+	s := p.setFor(1)
+	if s == nil {
+		return parametric.Entry{}, parametric.ErrNoEntry
+	}
+	return s.plans.Nearest(mem)
+}
+
+// Select answers a start-up-time memory law from the neutral-drift plan
+// set by re-costing the tiny cached candidate set (parametric.SelectByEC
+// — Algorithm A over precomputed plans). Without precomputed sets it
+// falls back to a full cached optimization with Algorithm C.
+func (p *Prepared) Select(mem dist.Dist) (Response, error) {
+	return p.SelectDrifted(mem, 1)
+}
+
+// SelectDrifted is Select against the plan set precomputed for the drift
+// factor nearest to factor.
+func (p *Prepared) SelectDrifted(mem dist.Dist, factor float64) (Response, error) {
+	s := p.setFor(factor)
+	if s == nil {
+		return p.Optimize(envsim.Env{Mem: mem}, AlgC)
+	}
+	pl, ec, err := s.plans.SelectByEC(mem)
+	if err != nil {
+		return Response{Err: err}, err
+	}
+	return Response{
+		PlanReport: PlanReport{
+			Algorithm:  AlgC,
+			Plan:       pl,
+			Score:      ec,
+			EC:         ec,
+			Candidates: s.plans.Plans(),
+		},
+		Parametric: true,
+	}, nil
+}

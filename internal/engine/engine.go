@@ -127,6 +127,17 @@ func emit(result *storage.Relation, o, i storage.Tuple) error {
 // pageNLJoin: for each outer page, scan the inner. The pool's LRU makes an
 // inner that fits in memory resident after the first pass (the formula's
 // M ≥ S+2 regime); a larger inner floods the cache and pays |A|·|B|.
+//
+// Known miscalibration (see ROADMAP): the formula's cheap case keys on
+// S = min(|A|,|B|), i.e. it assumes the *smaller* side can be made
+// resident — but this loop structure only realizes residency for the
+// inner. An outer smaller than the inner with M in [outer+2, inner+2)
+// pays the expensive rescan product the model never charged (observed
+// 9.35x measured/model on the serving agreement corpus, and size
+// feedback cannot help because both inputs are base tables with exact
+// sizes). Pinning a small outer and scanning the inner once fixes the
+// band but re-prices every serving NL execution, so it is left for a
+// dedicated calibration PR.
 func (e *Engine) pageNLJoin(pool *buffer.Pool, outer, inner *storage.Relation, oc, ic int, result *storage.Relation) error {
 	for op := 0; op < outer.NumPages(); op++ {
 		opage, err := pool.Read(outer.Name, op)

@@ -7,6 +7,7 @@ import (
 
 	"lecopt/internal/buffer"
 	"lecopt/internal/cost"
+	"lecopt/internal/feedback"
 	"lecopt/internal/plan"
 	"lecopt/internal/storage"
 )
@@ -24,6 +25,12 @@ type ExecResult struct {
 	Stats  buffer.Stats
 	// PhaseIO breaks the physical I/O down by execution phase.
 	PhaseIO []int64
+	// JoinSizes records the *observed* page count of every join's
+	// materialized output, keyed by feedback.SetKey over the leaf tables
+	// the join covers. These are the executed intermediate-result sizes
+	// that size-estimation feedback (optimizer.Options.SizeHints, via a
+	// feedback.Store) folds into subsequent costing.
+	JoinSizes map[string]float64
 }
 
 // ExecutePlan runs a left-deep plan against the store, one join per phase
@@ -61,26 +68,31 @@ func (e *Engine) executePlan(p *plan.Node, memSeq []float64, joinCol string) (Ex
 	if len(memSeq) < phases {
 		return ExecResult{}, fmt.Errorf("%w: %d < %d", ErrShortMems, len(memSeq), phases)
 	}
-	ex := &executor{eng: e, memSeq: memSeq, joinCol: joinCol, phaseIO: make([]int64, phases)}
+	ex := &executor{
+		eng: e, memSeq: memSeq, joinCol: joinCol,
+		phaseIO: make([]int64, phases), joinSizes: make(map[string]float64),
+	}
 	rel, err := ex.run(p)
 	if err != nil {
 		return ExecResult{}, err
 	}
-	return ExecResult{Output: rel, Stats: ex.total, PhaseIO: ex.phaseIO}, nil
+	return ExecResult{Output: rel, Stats: ex.total, PhaseIO: ex.phaseIO, JoinSizes: ex.joinSizes}, nil
 }
 
 type executor struct {
-	eng     *Engine
-	memSeq  []float64
-	joinCol string
-	total   buffer.Stats
-	phaseIO []int64
-	temps   []string
+	eng       *Engine
+	memSeq    []float64
+	joinCol   string
+	total     buffer.Stats
+	phaseIO   []int64
+	joinSizes map[string]float64
+	temps     []string
 }
 
-// run evaluates a subtree and returns its materialized relation. relCount
-// is tracked to map joins onto phases (a join covering k relations runs in
-// phase k-2).
+// run evaluates a subtree and returns its materialized relation. The leaf
+// tables covered by each subtree are tracked both to map joins onto phases
+// (a join covering k relations runs in phase k-2) and to key the observed
+// join-output sizes.
 func (ex *executor) run(n *plan.Node) (*storage.Relation, error) {
 	rel, _, err := ex.eval(n)
 	if err != nil {
@@ -104,21 +116,21 @@ func (ex *executor) cleanup() {
 	ex.temps = nil
 }
 
-func (ex *executor) eval(n *plan.Node) (*storage.Relation, int, error) {
+func (ex *executor) eval(n *plan.Node) (*storage.Relation, []string, error) {
 	switch n.Kind {
 	case plan.KindScan:
 		rel, err := ex.eng.store.Get(n.Table)
 		if err != nil {
-			return nil, 0, fmt.Errorf("%w: %s", ErrNoRelation2, n.Table)
+			return nil, nil, fmt.Errorf("%w: %s", ErrNoRelation2, n.Table)
 		}
-		return rel, 1, nil
+		return rel, []string{n.Table}, nil
 	case plan.KindSort:
-		child, k, err := ex.eval(n.Child)
+		child, tables, err := ex.eval(n.Child)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, err
 		}
 		phase := 0
-		if k >= 2 {
+		if k := len(tables); k >= 2 {
 			phase = k - 2
 		}
 		mem := int(ex.memSeq[phase])
@@ -130,41 +142,42 @@ func (ex *executor) eval(n *plan.Node) (*storage.Relation, int, error) {
 		if child.NumPages() <= mem && n.Child.Kind != plan.KindScan {
 			sorted, err := ex.materializeSorted(child)
 			if err != nil {
-				return nil, 0, err
+				return nil, nil, err
 			}
-			return sorted, k, nil
+			return sorted, tables, nil
 		}
 		out, st, err := ex.eng.SortRelation(child.Name, ex.colFor(child), mem)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, err
 		}
 		ex.charge(phase, st)
 		ex.temps = append(ex.temps, out.Name)
-		return out, k, nil
+		return out, tables, nil
 	case plan.KindJoin:
-		left, kl, err := ex.eval(n.Left)
+		left, lt, err := ex.eval(n.Left)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, err
 		}
-		right, kr, err := ex.eval(n.Right)
+		right, rt, err := ex.eval(n.Right)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, err
 		}
-		k := kl + kr
-		phase := k - 2
+		tables := append(append([]string(nil), lt...), rt...)
+		phase := len(tables) - 2
 		mem := int(ex.memSeq[phase])
 		if mem < 3 {
 			mem = 3
 		}
 		out, st, err := ex.joinRels(n.Method, left, right, mem)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, err
 		}
 		ex.charge(phase, st)
+		ex.joinSizes[feedback.SetKey(tables...)] = float64(out.NumPages())
 		ex.temps = append(ex.temps, out.Name)
-		return out, k, nil
+		return out, tables, nil
 	default:
-		return nil, 0, fmt.Errorf("engine: unknown plan node kind %v", n.Kind)
+		return nil, nil, fmt.Errorf("engine: unknown plan node kind %v", n.Kind)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"lecopt/internal/cost"
+	"lecopt/internal/feedback"
 	"lecopt/internal/plan"
 	"lecopt/internal/storage"
 )
@@ -199,5 +200,47 @@ func TestExecutePlanSingleScanWithSort(t *testing.T) {
 	}
 	if res.Stats.IO() == 0 {
 		t.Fatal("external sort of 10 pages with 4 buffers must do I/O")
+	}
+}
+
+// TestExecutePlanJoinSizes: the executor reports every join's observed
+// output pages, keyed by the canonical table-set key, matching the
+// materialized relations exactly — the raw input of result-size feedback.
+func TestExecutePlanJoinSizes(t *testing.T) {
+	e := loadTriple(t, 11, 12, 8, 6, 40)
+	p := triplePlan(cost.SortMerge, cost.GraceHash, false)
+	res, err := e.ExecutePlan(p, []float64{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Store().Drop(res.Output.Name)
+	if len(res.JoinSizes) != 2 {
+		t.Fatalf("want 2 join observations, got %v", res.JoinSizes)
+	}
+	ab, ok := res.JoinSizes[feedback.SetKey("A", "B")]
+	if !ok || ab <= 0 {
+		t.Fatalf("missing A+B observation: %v", res.JoinSizes)
+	}
+	abc, ok := res.JoinSizes[feedback.SetKey("A", "B", "C")]
+	if !ok {
+		t.Fatalf("missing A+B+C observation: %v", res.JoinSizes)
+	}
+	if got := float64(res.Output.NumPages()); abc != got {
+		t.Fatalf("final join observation %v != output pages %v", abc, got)
+	}
+	// Sizes are shape-independent facts about the data: the mirrored join
+	// order must observe the same final size.
+	a := plan.NewScan("A", plan.AccessHeap, "", 1, 12)
+	b := plan.NewScan("B", plan.AccessHeap, "", 1, 8)
+	c := plan.NewScan("C", plan.AccessHeap, "", 1, 6)
+	j1 := plan.NewJoin(cost.GraceHash, b, c, 10, plan.Order{})
+	j2 := plan.NewJoin(cost.SortMerge, j1, a, 5, plan.Order{})
+	res2, err := e.ExecutePlan(j2, []float64{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Store().Drop(res2.Output.Name)
+	if got := res2.JoinSizes[feedback.SetKey("A", "B", "C")]; got != abc {
+		t.Fatalf("join order changed the observed size: %v vs %v", got, abc)
 	}
 }

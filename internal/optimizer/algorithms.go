@@ -243,7 +243,7 @@ func (c *ctx) dpTopC(s scorer, topC int) ([]entry, int, error) {
 							probes += pr
 							for _, p := range pairs {
 								le, re := left.entries[p[0]], right.entries[p[1]]
-								outPages := c.clampPages(le.pages * re.pages * sigma)
+								outPages := c.joinOutPages(mask, c.clampPages(le.pages*re.pages*sigma))
 								order := c.joinOutputOrder(m, j, rest, le.order)
 								node := plan.NewJoin(m, le.node, re.node, outPages, order)
 								e := entry{node: node, score: le.score + re.score + jc, pages: outPages, order: order}
@@ -348,6 +348,12 @@ func (c *ctx) dpDist(mem dist.Dist) (Result, error) {
 							return Result{}, err
 						}
 						outLaw = outLaw.Map(c.clampPages)
+						if v, ok := c.sizeHint[mask]; ok {
+							// An executed-size observation collapses the
+							// propagated result-size law: the realized
+							// size is a fact, not a distribution.
+							outLaw = dist.Point(v)
+						}
 						for _, m := range c.opts.Methods {
 							jc := expcost.JoinEC(m, left.law, right.law, mem)
 							outPages := outLaw.Mean()

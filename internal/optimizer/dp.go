@@ -150,7 +150,7 @@ func (c *ctx) dpBest(s scorer) (Result, error) {
 						for _, m := range c.opts.Methods {
 							jc := s.joinScore(m, left.pages, right.pages, phase)
 							score := left.score + right.score + jc
-							outPages := c.clampPages(left.pages * right.pages * sigma)
+							outPages := c.joinOutPages(mask, c.clampPages(left.pages*right.pages*sigma))
 							order := c.joinOutputOrder(m, j, rest, left.order)
 							node := plan.NewJoin(m, left.node, right.node, outPages, order)
 							keep(mask, entry{node: node, score: score, pages: outPages, order: order})

@@ -90,7 +90,7 @@ func (c *ctx) exhaustive(eval func(*plan.Node) (float64, error)) (Result, error)
 			sigma := c.sigmaBetween(j, p.mask)
 			for _, leaf := range c.leafEntries(c.tables[j]) {
 				for _, m := range c.opts.Methods {
-					outPages := c.clampPages(p.pages * leaf.pages * sigma)
+					outPages := c.joinOutPages(p.mask|bit, c.clampPages(p.pages*leaf.pages*sigma))
 					order := c.joinOutputOrder(m, j, p.mask, p.order)
 					node := plan.NewJoin(m, p.node, leaf.node, outPages, order)
 					if err := extend(partial{node: node, pages: outPages, order: order, mask: p.mask | bit}); err != nil {

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"strings"
 
 	"lecopt/internal/catalog"
 	"lecopt/internal/cost"
@@ -63,6 +64,19 @@ type Options struct {
 	// plan is found — per-bucket results are merged in deterministic
 	// bucket order — so it is excluded from plan-cache signatures.
 	Workers int
+	// SizeHints overrides estimated result sizes (in pages) with observed
+	// ones, keyed by feedback.SetKey over the joined tables' names; a
+	// single table name keys that table's filtered size. The hints come
+	// from executed-size feedback (engine.ExecResult.JoinSizes routed
+	// through a feedback.Store): where a hint exists, the dynamic programs
+	// cost with the observed size instead of the selectivity-product
+	// estimate, and Algorithm D's propagated result-size law collapses to
+	// the observed point (a realized size is a fact, not a distribution).
+	// Keys naming tables outside the query are ignored. At the leaves,
+	// Algorithm D's explicit per-table size laws take precedence over
+	// single-table hints. Unlike Workers, hints change which plan is
+	// found, so they are hashed into plan-cache signatures.
+	SizeHints map[string]float64
 }
 
 func (o Options) withDefaults() Options {
@@ -135,6 +149,7 @@ type ctx struct {
 	edge      [][]bool            // join-graph adjacency
 	sigmaD    [][]dist.Dist       // per-pair selectivity laws (zero Dist ⇒ Point(sigma))
 	orderCols map[plan.Order]bool // orders that satisfy the query's ORDER BY
+	sizeHint  map[uint64]float64  // observed result pages by table-subset mask
 }
 
 // prepare validates the block and precomputes per-table and per-pair
@@ -176,7 +191,60 @@ func prepare(cat *catalog.Catalog, blk *query.Block, opts Options) (*ctx, error)
 	if err := c.preparePairs(); err != nil {
 		return nil, err
 	}
+	c.applySizeHints()
 	return c, nil
+}
+
+// applySizeHints resolves Options.SizeHints onto the query: single-table
+// keys override the leaf's filtered-size estimate; multi-table keys are
+// mapped to table-subset masks consulted by the dynamic programs for join
+// output sizes. Keys naming tables outside the query, and non-positive or
+// non-finite sizes, are ignored.
+func (c *ctx) applySizeHints() {
+	if len(c.opts.SizeHints) == 0 {
+		return
+	}
+	c.sizeHint = make(map[uint64]float64, len(c.opts.SizeHints))
+	for key, pages := range c.opts.SizeHints {
+		if pages <= 0 || math.IsNaN(pages) || math.IsInf(pages, 0) {
+			continue
+		}
+		mask := uint64(0)
+		resolved := true
+		for _, name := range strings.Split(key, "+") {
+			i := c.blk.TableIndex(name)
+			if i < 0 {
+				resolved = false
+				break
+			}
+			mask |= 1 << uint(i)
+		}
+		if !resolved || mask == 0 {
+			continue
+		}
+		c.sizeHint[mask] = c.clampPages(pages)
+	}
+	for _, ti := range c.tables {
+		if v, ok := c.sizeHint[1<<uint(ti.idx)]; ok {
+			ti.pages = v
+			ti.sizeLaw = dist.Point(v)
+			for _, ac := range ti.accesses {
+				ac.node.OutPages = v
+			}
+		}
+	}
+}
+
+// joinOutPages returns the output size of the join completing mask: the
+// observed (hinted) size when executed-size feedback has one, the
+// selectivity-product estimate otherwise. Observed sizes are
+// join-order-independent, so one mask entry corrects every plan prefix
+// covering the same tables.
+func (c *ctx) joinOutPages(mask uint64, est float64) float64 {
+	if v, ok := c.sizeHint[mask]; ok {
+		return v
+	}
+	return est
 }
 
 func (c *ctx) prepareTable(name string, idx int) (*tableInfo, error) {

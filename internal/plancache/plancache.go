@@ -25,10 +25,11 @@ const shardCount = 16 // power of two; low-bits shard selection
 // Cache is a sharded LRU mapping string keys to values of type V.
 // The zero value is not usable; construct with New.
 type Cache[V any] struct {
-	shards [shardCount]shard[V]
-	seed   maphash.Seed
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	shards    [shardCount]shard[V]
+	seed      maphash.Seed
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 type shard[V any] struct {
@@ -95,6 +96,7 @@ func (c *Cache[V]) Put(key string, val V) {
 		if oldest != nil {
 			s.order.Remove(oldest)
 			delete(s.items, oldest.Value.(*lruEntry[V]).key)
+			c.evictions.Add(1)
 		}
 	}
 	s.items[key] = s.order.PushFront(&lruEntry[V]{key: key, val: val})
@@ -117,6 +119,14 @@ type Stats struct {
 	Hits   uint64
 	Misses uint64
 	Size   int
+	// Evictions counts LRU evictions since construction. A hit rate that
+	// looks healthy while evictions climb means the working set exceeds
+	// the capacity — entries are cycling, not resident.
+	Evictions uint64
+	// ShardSizes is the per-shard occupancy. Keys hash uniformly, so a
+	// heavily skewed profile indicates a pathological key population
+	// (e.g. everything collapsing into one drift band).
+	ShardSizes []int
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -128,7 +138,21 @@ func (st Stats) HitRate() float64 {
 	return float64(st.Hits) / float64(total)
 }
 
-// Stats returns a snapshot of the hit/miss counters and current size.
+// Stats returns a snapshot of the hit/miss/eviction counters, the current
+// size and the per-shard occupancy.
 func (c *Cache[V]) Stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Size: c.Len()}
+	st := Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		ShardSizes: make([]int, shardCount),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.ShardSizes[i] = s.order.Len()
+		s.mu.Unlock()
+		st.Size += st.ShardSizes[i]
+	}
+	return st
 }

@@ -125,7 +125,7 @@ func TestSignatureDeterministicAndDiscriminating(t *testing.T) {
 	}
 	env := envsim.Env{Mem: mem}
 	sig := func(sc workload.Scenario, env envsim.Env, opts optimizer.Options, topC int, alg string) string {
-		return Signature(sc.Cat, sc.Block, env, nil, nil, opts, topC, alg)
+		return Signature(sc.Cat, sc.Block, env, nil, nil, opts, topC, alg, 0)
 	}
 	base := sig(sc, env, optimizer.Options{}, 3, "algorithm-c")
 	if base != sig(sc, env, optimizer.Options{}, 3, "algorithm-c") {
@@ -176,13 +176,61 @@ func TestSignatureLawMapOrderInsensitive(t *testing.T) {
 	lawB := dist.Point(0.25)
 	m1 := map[string]dist.Dist{"t0.k=t1.k": lawA, "t1.k=t2.k": lawB}
 	m2 := map[string]dist.Dist{"t1.k=t2.k": lawB, "t0.k=t1.k": lawA}
-	s1 := Signature(sc.Cat, sc.Block, env, m1, nil, optimizer.Options{}, 3, "algorithm-d")
-	s2 := Signature(sc.Cat, sc.Block, env, m2, nil, optimizer.Options{}, 3, "algorithm-d")
+	s1 := Signature(sc.Cat, sc.Block, env, m1, nil, optimizer.Options{}, 3, "algorithm-d", 0)
+	s2 := Signature(sc.Cat, sc.Block, env, m2, nil, optimizer.Options{}, 3, "algorithm-d", 0)
 	if s1 != s2 {
 		t.Fatal("signature depends on map insertion order")
 	}
-	s3 := Signature(sc.Cat, sc.Block, env, nil, nil, optimizer.Options{}, 3, "algorithm-d")
+	s3 := Signature(sc.Cat, sc.Block, env, nil, nil, optimizer.Options{}, 3, "algorithm-d", 0)
 	if s1 == s3 {
 		t.Fatal("selectivity laws not in signature")
+	}
+}
+
+func TestStatsEvictionsAndShards(t *testing.T) {
+	c := New[int](16) // one slot per shard
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("overfull cache recorded no evictions")
+	}
+	if len(st.ShardSizes) == 0 {
+		t.Fatal("no shard occupancy reported")
+	}
+	total := 0
+	for _, n := range st.ShardSizes {
+		if n > 1 {
+			t.Fatalf("shard over its capacity: %v", st.ShardSizes)
+		}
+		total += n
+	}
+	if total != st.Size {
+		t.Fatalf("shard occupancy %d != size %d", total, st.Size)
+	}
+	if uint64(200-st.Size) != st.Evictions {
+		t.Fatalf("evictions %d inconsistent with 200 puts and size %d", st.Evictions, st.Size)
+	}
+}
+
+func TestSignatureDriftBand(t *testing.T) {
+	sc := testScenario(t, 9)
+	env := envsim.Env{Mem: dist.Point(1000)}
+	exact := Signature(sc.Cat, sc.Block, env, nil, nil, optimizer.Options{}, 3, "algorithm-c", 0)
+	banded := Signature(sc.Cat, sc.Block, env, nil, nil, optimizer.Options{}, 3, "algorithm-c", 2)
+	if exact == banded {
+		t.Fatal("band base must be part of the key")
+	}
+	// Size hints change which plan is optimal, so they must split keys.
+	hinted := Signature(sc.Cat, sc.Block, env, nil, nil,
+		optimizer.Options{SizeHints: map[string]float64{"t0+t1": 42}}, 3, "algorithm-c", 0)
+	if hinted == exact {
+		t.Fatal("size hints not in signature")
+	}
+	h2 := Signature(sc.Cat, sc.Block, env, nil, nil,
+		optimizer.Options{SizeHints: map[string]float64{"t0+t1": 42}}, 3, "algorithm-c", 0)
+	if hinted != h2 {
+		t.Fatal("hinted signature not deterministic")
 	}
 }

@@ -17,23 +17,36 @@ import (
 // Signature builds a canonical cache key covering everything an
 // optimization's outcome depends on:
 //
-//   - the catalog fingerprint (all table/column/histogram/index statistics),
+//   - the catalog fingerprint — exact when driftBand <= 1, or the
+//     drift-banded fingerprint (distinct counts bucketed into geometric
+//     bands of base driftBand; see catalog.BandedFingerprint) otherwise,
+//     so statistics drifting within a band keep hitting the same entry,
 //   - the query's canonical shape (tables, predicates, ORDER BY — order
 //     insensitive),
 //   - a digest of the environment laws (memory distribution plus the full
 //     Markov transition matrix when dynamic),
 //   - the Algorithm D selectivity and size laws,
-//   - the plan-space options and algorithm name (and Algorithm B's top-c).
+//   - the plan-space options — including executed-size feedback hints,
+//     which change which plan is optimal — and algorithm name (and
+//     Algorithm B's top-c).
 //
 // Options.Workers is deliberately excluded: the worker count changes how
-// fast an answer is found, never which answer. Two scenarios that hash
-// equal are optimized identically, so memoized PlanReports can be shared.
+// fast an answer is found, never which answer. With an exact fingerprint,
+// two scenarios that hash equal are optimized identically, so memoized
+// PlanReports can be shared; with a banded fingerprint they are optimized
+// *equivalently up to in-band drift* — the deliberate approximation that
+// lets drifting tenants share plans.
 func Signature(cat *catalog.Catalog, blk *query.Block, env envsim.Env,
-	selLaws, sizeLaws map[string]dist.Dist, opts optimizer.Options, topC int, alg string) string {
+	selLaws, sizeLaws map[string]dist.Dist, opts optimizer.Options, topC int,
+	alg string, driftBand float64) string {
 	opts = opts.Normalized() // zero-value and explicit defaults hash equal
 	h := sha256.New()
 	fmt.Fprintf(h, "alg=%s topc=%d\n", alg, topC)
-	fmt.Fprintf(h, "cat=%s\n", cat.Fingerprint())
+	if driftBand > 1 {
+		fmt.Fprintf(h, "cat=%s band=%v\n", cat.BandedFingerprint(driftBand), driftBand)
+	} else {
+		fmt.Fprintf(h, "cat=%s\n", cat.Fingerprint())
+	}
 	fmt.Fprintf(h, "query=%s\n", blk.Canonical())
 	io.WriteString(h, "mem=")
 	writeDist(h, env.Mem)
@@ -50,6 +63,7 @@ func Signature(cat *catalog.Catalog, blk *query.Block, env envsim.Env,
 	}
 	writeLawMap(h, "sel", selLaws)
 	writeLawMap(h, "size", sizeLaws)
+	writeHints(h, opts.SizeHints)
 	methods := make([]string, len(opts.Methods))
 	for i, m := range opts.Methods {
 		methods[i] = m.String()
@@ -57,6 +71,21 @@ func Signature(cat *catalog.Catalog, blk *query.Block, env envsim.Env,
 	fmt.Fprintf(h, "opts methods=%v noidx=%v minpages=%v sizebuckets=%d\n",
 		methods, opts.DisableIndexes, opts.MinPages, opts.SizeBuckets)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeHints streams the executed-size feedback hints in sorted key order.
+func writeHints(w io.Writer, hints map[string]float64) {
+	if len(hints) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(hints))
+	for k := range hints {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "hint %s=%v\n", k, hints[k])
+	}
 }
 
 // writeDist streams a distribution's support and probabilities.

@@ -291,42 +291,13 @@ func generateServingQuery(id int, spec MixSpec, rng *rand.Rand) (*ServingQuery, 
 	}, nil
 }
 
-// driftedCatalog rebuilds a query's catalog with every join key's distinct
-// count scaled by factor (clamped to [1, rows]) — the stale statistics the
-// optimizer sees while the physical data stays put. Factor 1 returns the
-// catalog unchanged.
+// driftedCatalog rebuilds a query's catalog with every distinct count
+// scaled by factor (clamped to [1, rows]) — the stale statistics the
+// optimizer sees while the physical data stays put. It delegates to the
+// shared catalog.ScaleDistinct transform (serving tables carry only the
+// join key column "k", so scaling all columns is scaling the join keys),
+// keeping the simulator's drift and Prepare's drift axis the same
+// transform. Factor 1 returns the catalog unchanged.
 func driftedCatalog(base *catalog.Catalog, factor float64) (*catalog.Catalog, error) {
-	if factor == 1 {
-		return base, nil
-	}
-	out := catalog.New()
-	for _, name := range base.TableNames() {
-		tab, err := base.Table(name)
-		if err != nil {
-			return nil, err
-		}
-		cols := tab.Columns()
-		scaled := make([]catalog.Column, len(cols))
-		for i, c := range cols {
-			if c.Name == "k" {
-				d := math.Round(c.Distinct * factor)
-				if d < 1 {
-					d = 1
-				}
-				if d > tab.Rows {
-					d = tab.Rows
-				}
-				c.Distinct = d
-			}
-			scaled[i] = c
-		}
-		nt, err := catalog.NewTable(name, tab.Pages, tab.Rows, scaled...)
-		if err != nil {
-			return nil, err
-		}
-		if err := out.AddTable(nt); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return base.ScaleDistinct(factor)
 }

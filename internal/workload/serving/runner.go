@@ -31,6 +31,12 @@ type RunConfig struct {
 	Workers int
 	// CacheSize is the plan-cache capacity (default 1024).
 	CacheSize int
+	// DriftBand is the plan-cache key band base: 0 uses the service
+	// default (geometric factor-2 bands over distinct counts, so the
+	// default ±2x statistics drift keeps hitting the cache), any value
+	// <= 1 (e.g. -1) restores exact-fingerprint keys, which split every
+	// (query, tenant, drift factor) combination into its own entry.
+	DriftBand float64
 	// LSC and LEC select the two policies compared; zero values mean
 	// AlgLSCMode vs AlgC, the paper's classical-vs-least-expected-cost
 	// match-up. (AlgLSCMean is the Algorithm zero value, so an explicit
@@ -78,8 +84,9 @@ type planPair struct {
 
 // execOutcome is one memoized plan execution.
 type execOutcome struct {
-	io      int64
-	phaseIO []int64
+	io        int64
+	phaseIO   []int64
+	joinSizes map[string]float64 // observed intermediate pages by table set
 }
 
 // Run simulates cfg.Requests serving requests against the mix: each
@@ -164,9 +171,12 @@ func (m *Mix) Run(cfg RunConfig) (*Report, error) {
 		agg.observe(req, pair, outcomes[0], outcomes[1])
 	}
 	rep := agg.report()
+	rep.DriftBand = core.ResolveDriftBand(cfg.DriftBand)
 	rep.PlanCacheHits = cacheStats.Hits
 	rep.PlanCacheMisses = cacheStats.Misses
 	rep.PlanCacheHitRate = cacheStats.HitRate()
+	rep.PlanCacheEvictions = cacheStats.Evictions
+	rep.PlanCacheShardSizes = cacheStats.ShardSizes
 	rep.ExecCacheHits = execHits
 	rep.ExecCacheMisses = execMisses
 	if execHits+execMisses > 0 {
@@ -177,31 +187,37 @@ func (m *Mix) Run(cfg RunConfig) (*Report, error) {
 }
 
 // optimizeAll runs both policies over every distinct optimization problem
-// through the concurrent batch pipeline.
+// through a long-lived core.Optimizer service handle. The handle owns the
+// plan cache with drift-banded keys (cfg.DriftBand), so the same (query,
+// tenant) keeps hitting its cached plans while the statistics drift walks
+// within a band — the fix for drift splitting the cache into a ~20% hit
+// rate. Feedback is disabled here because the runner optimizes the whole
+// stream upfront; MeasureModelAgreement exercises the feedback loop.
 func (m *Mix) optimizeAll(keys []optKey, cfg RunConfig) ([]planPair, plancache.Stats, error) {
-	cache := plancache.New[core.PlanReport](cfg.CacheSize)
+	opt := core.NewOptimizer(nil, core.Config{
+		Workers:         cfg.Workers,
+		CacheSize:       cfg.CacheSize,
+		DriftBand:       cfg.DriftBand,
+		DisableFeedback: true,
+	})
 	driftCats := map[driftCatKey]*catalog.Catalog{}
-	jobs := make([]core.BatchJob, 0, 2*len(keys))
+	// The executor has no index access path, so the optimizer must not
+	// plan one.
+	servingOpts := &optimizer.Options{DisableIndexes: true}
+	reqs := make([]core.Request, 0, 2*len(keys))
 	for _, k := range keys {
 		q := m.Queries[k.query]
 		cat, err := m.catalogAt(driftCats, k.query, k.factor)
 		if err != nil {
 			return nil, plancache.Stats{}, err
 		}
-		sc := &core.Scenario{
-			Cat:   cat,
-			Query: q.Block,
-			Env:   m.Tenants[k.tenant].Env,
-			// The executor has no index access path, so the optimizer must
-			// not plan one.
-			Opts: optimizer.Options{DisableIndexes: true},
-		}
-		jobs = append(jobs,
-			core.BatchJob{Scenario: sc, Alg: cfg.LSC},
-			core.BatchJob{Scenario: sc, Alg: cfg.LEC},
+		env := m.Tenants[k.tenant].Env
+		reqs = append(reqs,
+			core.Request{Query: q.Block, Cat: cat, Env: env, Alg: cfg.LSC, Opts: servingOpts},
+			core.Request{Query: q.Block, Cat: cat, Env: env, Alg: cfg.LEC, Opts: servingOpts},
 		)
 	}
-	results := core.OptimizeBatch(jobs, core.BatchOptions{Workers: cfg.Workers, Cache: cache})
+	results := opt.OptimizeBatch(reqs)
 	pairs := make([]planPair, len(keys))
 	for i := range keys {
 		lsc, lec := results[2*i], results[2*i+1]
@@ -212,11 +228,11 @@ func (m *Mix) optimizeAll(keys []optKey, cfg RunConfig) ([]planPair, plancache.S
 			return nil, plancache.Stats{}, fmt.Errorf("workload: %s: %w", cfg.LEC, lec.Err)
 		}
 		pairs[i] = planPair{
-			lsc: lsc.Report.Plan, lec: lec.Report.Plan,
-			lscEC: lsc.Report.EC, lecEC: lec.Report.EC,
+			lsc: lsc.Plan, lec: lec.Plan,
+			lscEC: lsc.EC, lecEC: lec.EC,
 		}
 	}
-	return pairs, cache.Stats(), nil
+	return pairs, opt.CacheStats(), nil
 }
 
 type driftCatKey struct {
@@ -249,7 +265,7 @@ func executeOnce(q *ServingQuery, p *plan.Node, memSeq []float64) (execOutcome, 
 		return execOutcome{}, err
 	}
 	q.Store.Drop(res.Output.Name)
-	return execOutcome{io: res.Stats.IO(), phaseIO: res.PhaseIO}, nil
+	return execOutcome{io: res.Stats.IO(), phaseIO: res.PhaseIO, joinSizes: res.JoinSizes}, nil
 }
 
 // percentile returns the q-quantile of an unsorted sample via envsim's

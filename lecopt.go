@@ -15,42 +15,72 @@
 // cost model, and a page-level execution engine with a buffer pool that
 // validates the model's shape.
 //
-// Quick start (the paper's Example 1.1):
+// # The Optimizer service handle
 //
+// The primary API is a long-lived, concurrency-safe service handle built
+// with New. The handle owns everything a serving fleet needs to keep
+// *across* requests: the plan cache, the worker pool, prepared statements
+// with their [INSS92]-style parametric plan sets, and the executed-size
+// feedback store. Quick start (the paper's Example 1.1):
+//
+//	opt := lecopt.New(cat)
+//	prep, _ := opt.Prepare("SELECT * FROM A, B WHERE A.k = B.k ORDER BY A.k")
 //	mem, _ := lecopt.Bimodal(700, 2000, 0.2) // pages: 700 w.p. 0.2, 2000 w.p. 0.8
-//	sc := &lecopt.Scenario{Cat: cat, Query: blk, Env: lecopt.Env{Mem: mem}}
-//	classical, _ := sc.Optimize(lecopt.AlgLSCMode) // picks sort-merge
-//	lec, _ := sc.Optimize(lecopt.AlgC)             // picks grace-hash + sort
-//	fmt.Println(lec.EC < classical.EC)             // true
+//	env := lecopt.Env{Mem: mem}
+//	classical, _ := prep.Optimize(env, lecopt.AlgLSCMode) // picks sort-merge
+//	lec, _ := prep.Optimize(env, lecopt.AlgC)             // picks grace-hash + sort
+//	fmt.Println(lec.EC < classical.EC)                    // true
+//
+// One-shot requests skip Prepare: Optimize takes SQL, a pre-built Block,
+// or a Prepared statement, plus a per-request catalog override for
+// multi-tenant or drifted statistics:
+//
+//	resp, _ := opt.Optimize(lecopt.Request{SQL: "...", Env: env, Alg: lecopt.AlgC})
 //
 // # Batch & concurrent use
 //
-// Optimizations are independent, so heavy workloads should go through
-// OptimizeBatch, which fans a worker pool across many scenarios and can
-// memoize repeated queries in a plan cache:
+// Heavy workloads go through Optimizer.OptimizeBatch, which fans the
+// handle's worker pool across many requests and serves repeats from the
+// plan cache:
 //
-//	cache := lecopt.NewPlanCache(4096)
-//	jobs := make([]lecopt.BatchJob, len(scenarios))
-//	for i, sc := range scenarios {
-//		jobs[i] = lecopt.BatchJob{Scenario: sc, Alg: lecopt.AlgC}
-//	}
-//	results := lecopt.OptimizeBatch(jobs, lecopt.BatchOptions{Workers: 8, Cache: cache})
-//	for i, r := range results { // results[i] answers jobs[i]
+//	opt := lecopt.New(nil, lecopt.WithWorkers(8))
+//	resps := opt.OptimizeBatch(reqs) // resps[i] answers reqs[i]
+//	for _, r := range resps {
 //		if r.Err == nil {
-//			fmt.Println(r.Report.Plan, r.Report.EC, r.CacheHit)
+//			fmt.Println(r.Plan, r.EC, r.CacheHit)
 //		}
 //	}
-//	fmt.Println(cache.Stats().HitRate())
+//	fmt.Println(opt.CacheStats().HitRate())
 //
-// Results are byte-identical to sequential Scenario.Optimize calls: worker
-// count only changes wall-clock time, never plans. Cache keys cover the
-// catalog fingerprint, canonical query shape, environment-law digest,
-// plan-space options and algorithm, so any statistics or law change misses
-// cleanly and stale entries age out of the LRU — there is no explicit
-// invalidation to call. Cached reports share plan trees; treat returned
-// plans as immutable (Clone before mutating). Inside Algorithms A and B the
-// per-memory-bucket LSC runs are themselves parallelized; tune with
-// Options.Workers.
+// Results are byte-identical to sequential Optimize calls and independent
+// of the worker count. Requests sharing a cache key are deduplicated
+// deterministically (first request in order computes, the rest hit).
+// Cached reports share plan trees; treat returned plans as immutable
+// (Clone before mutating). Inside Algorithms A and B the per-memory-bucket
+// LSC runs are themselves parallelized; tune with Options.Workers.
+//
+// # Drift-banded plan caching
+//
+// Cache keys cover the catalog fingerprint, canonical query shape,
+// environment-law digest, plan-space options, feedback hints and
+// algorithm. By default the catalog fingerprint is *drift-banded*:
+// distinct counts are bucketed into geometric factor-2 bands, so a tenant
+// whose statistics drift within a band keeps hitting its cached plans
+// (exact-fingerprint keys split every drift step into its own entry; opt
+// in to them with WithExactCacheKeys). Cross-band drift — a real
+// statistics change — misses cleanly, and stale entries age out of the
+// LRU; there is no explicit invalidation to call.
+//
+// # Executed-size feedback
+//
+// The cost model's weakest input is the estimated intermediate-result
+// size (nested-loop joins square the error). The engine reports every
+// join's materialized output pages (ExecResult.JoinSizes); feed them back
+// with Observe and subsequent optimizations of the same query cost with
+// the observed sizes:
+//
+//	res, _ := eng.ExecutePlan(resp.Plan, memSeq)
+//	opt.Observe(lecopt.Feedback{Prepared: prep, Sizes: res.JoinSizes})
 //
 // # Empirical validation
 //
@@ -67,11 +97,19 @@
 //	fmt.Println(rep.RealizedRatio <= 1) // LEC realized no more I/O than LSC
 //
 // The same report is produced by `lecbench -workload` as the
-// BENCH_workload.json artifact; see the README's "Empirical validation"
-// section for how to read it.
+// BENCH_workload.json artifact (including the model-agreement bands with
+// feedback off and on); see the README's "Empirical validation" section
+// for how to read it.
 //
-// See the examples/ directory for runnable programs and DESIGN.md /
-// EXPERIMENTS.md for the reproduction methodology.
+// # Migrating from the free functions
+//
+// The pre-handle surface (Scenario.Optimize, OptimizeBatch, NewPlanCache)
+// still works and now delegates to the service; see the README's
+// "Migrating from the free functions" table for the old-to-new mapping.
+//
+// See the examples/ directory for runnable programs, DESIGN.md for the
+// architecture and plan-space conventions, and EXPERIMENTS.md for the
+// E1-E20 reproduction methodology.
 package lecopt
 
 import (
@@ -120,10 +158,16 @@ type (
 	// Options tunes the optimizer's plan space.
 	Options = optimizer.Options
 	// BatchJob is one unit of work for OptimizeBatch.
+	//
+	// Deprecated: build Requests for an Optimizer handle instead.
 	BatchJob = core.BatchJob
 	// BatchResult is the outcome of one BatchJob.
+	//
+	// Deprecated: the handle's OptimizeBatch returns Responses.
 	BatchResult = core.BatchResult
 	// BatchOptions tunes OptimizeBatch (worker count, plan cache).
+	//
+	// Deprecated: configure the handle with WithWorkers / WithPlanCache.
 	BatchOptions = core.BatchOptions
 	// PlanCache memoizes PlanReports across repeated queries.
 	PlanCache = plancache.Cache[core.PlanReport]
@@ -194,12 +238,18 @@ func EdgeKey(j query.Join) string { return optimizer.EdgeKey(j) }
 
 // OptimizeBatch optimizes every job across a worker pool and returns the
 // results in job order; see the "Batch & concurrent use" package section.
+//
+// Deprecated: OptimizeBatch delegates to an ephemeral Optimizer handle
+// with exact cache keys on every call. Hold a long-lived handle instead —
+// New(...).OptimizeBatch — which adds drift-banded caching, prepared
+// statements and executed-size feedback.
 func OptimizeBatch(jobs []BatchJob, opts BatchOptions) []BatchResult {
 	return core.OptimizeBatch(jobs, opts)
 }
 
 // NewPlanCache returns a concurrency-safe LRU plan cache holding at most
-// capacity memoized PlanReports, for use with BatchOptions.Cache.
+// capacity memoized PlanReports, for use with BatchOptions.Cache or
+// WithSharedCache (sharing one cache across handles).
 func NewPlanCache(capacity int) *PlanCache {
 	return plancache.New[core.PlanReport](capacity)
 }
