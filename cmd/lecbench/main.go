@@ -47,6 +47,7 @@ func main() {
 		zipf      = flag.Float64("zipf", 0, "workload mode: popularity skew (0 = spec default)")
 		driftBand = flag.Float64("driftband", 0, "workload mode: plan-cache drift band base (0 = service default, <=1 = exact keys)")
 		noBands   = flag.Bool("nobands", false, "workload mode: skip the model-agreement feedback band sweeps")
+		noIndex   = flag.Bool("noindex", false, "workload mode: heap-only mix (no physical indexes, no index plans) — reproduces the pre-access-path artifact")
 
 		emitJSON = flag.Bool("json", true, "write the mode's JSON artifact")
 		outPath  = flag.String("out", "", "artifact path (default BENCH_batch.json / BENCH_workload.json by mode)")
@@ -74,7 +75,7 @@ func main() {
 		cfg := workloadModeConfig{
 			Requests: *requests, Queries: *queries, Zipf: *zipf,
 			Seed: *seed, Workers: *workers, CacheSize: *cacheSize,
-			DriftBand: *driftBand, NoBands: *noBands,
+			DriftBand: *driftBand, NoBands: *noBands, NoIndex: *noIndex,
 		}
 		if _, err := runWorkloadMode(cfg, artifact("BENCH_workload.json"), os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "lecbench:", err)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"lecopt"
 )
@@ -19,6 +20,7 @@ type workloadModeConfig struct {
 	CacheSize int
 	DriftBand float64 // 0: service default (banded); <= 1: exact keys
 	NoBands   bool    // skip the model-agreement band sweeps
+	NoIndex   bool    // heap-only mix: no physical indexes, no index plans
 }
 
 // workloadArtifact is the BENCH_workload.json payload: the serving report
@@ -46,6 +48,10 @@ func runWorkloadMode(cfg workloadModeConfig, jsonPath string, w io.Writer) (*lec
 	if cfg.Zipf > 0 {
 		spec.ZipfS = cfg.Zipf
 	}
+	// -noindex reproduces the historical heap-only artifact: the mix
+	// builds no physical indexes and the optimizer's plan space drops
+	// index access paths — a spec decision, not a hardcoded option.
+	spec.DisableIndexes = cfg.NoIndex
 	rep, err := lecopt.RunWorkload(spec, lecopt.WorkloadRun{
 		Requests:  cfg.Requests,
 		Seed:      cfg.Seed,
@@ -57,8 +63,19 @@ func runWorkloadMode(cfg workloadModeConfig, jsonPath string, w io.Writer) (*lec
 		return nil, err
 	}
 
-	fmt.Fprintf(w, "workload: %d requests over %d queries x %d tenants (zipf %.2f, seed %d)\n",
-		rep.Requests, rep.Queries, rep.Tenants, spec.ZipfS, rep.Seed)
+	access := "index-enabled"
+	if spec.DisableIndexes {
+		access = "heap-only (-noindex)"
+	}
+	fmt.Fprintf(w, "workload: %d requests over %d queries x %d tenants (zipf %.2f, seed %d, %s)\n",
+		rep.Requests, rep.Queries, rep.Tenants, spec.ZipfS, rep.Seed, access)
+	indexPlans := 0
+	for _, pc := range rep.PlanDump {
+		if strings.Contains(pc.Plan, "index") {
+			indexPlans++
+		}
+	}
+	fmt.Fprintf(w, "  executed plans: %d distinct, %d index-bearing\n", len(rep.PlanDump), indexPlans)
 	fmt.Fprintf(w, "  realized I/O: %s=%d pages, %s=%d pages, ratio %.4f (predicted %.4f)\n",
 		rep.LSCAlgorithm, rep.TotalLSCIO, rep.LECAlgorithm, rep.TotalLECIO,
 		rep.RealizedRatio, rep.PredictedRatio)

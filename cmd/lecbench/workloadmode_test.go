@@ -40,10 +40,39 @@ func TestWorkloadModeEmitsArtifact(t *testing.T) {
 		onDisk.Requests != rep.Requests {
 		t.Fatalf("artifact mismatch: %+v vs %+v", onDisk, rep)
 	}
-	for _, want := range []string{"realized I/O", "regret p50/p90/p99", "claim (aggregate realized LEC <= LSC): HOLDS", "wrote "} {
+	for _, want := range []string{"realized I/O", "regret p50/p90/p99", "claim (aggregate realized LEC <= LSC): HOLDS", "wrote ", "index-enabled"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("summary missing %q:\n%s", want, out.String())
 		}
+	}
+	// The ISSUE acceptance: the artifact's plan dump must show executed
+	// index plans (Scan(..., index) nodes).
+	if !strings.Contains(string(buf), "index:ix_") {
+		t.Fatal("artifact plan dump contains no index-scan nodes")
+	}
+}
+
+// TestWorkloadModeNoIndex: -noindex reproduces the heap-only mix — no
+// index nodes anywhere in the dump, and the LEC claim still holds.
+func TestWorkloadModeNoIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_workload.json")
+	var out strings.Builder
+	rep, err := runWorkloadMode(workloadModeConfig{Requests: 120, Seed: 1, NoIndex: true, NoBands: true}, path, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalLECIO > rep.TotalLSCIO {
+		t.Fatalf("heap-only claim violated: %d > %d", rep.TotalLECIO, rep.TotalLSCIO)
+	}
+	if !strings.Contains(out.String(), "heap-only (-noindex)") {
+		t.Fatalf("summary missing heap-only marker:\n%s", out.String())
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(buf), "index:") {
+		t.Fatal("-noindex artifact contains index-scan nodes")
 	}
 }
 

@@ -92,7 +92,7 @@ type Catalog struct {
 	// memoizes BandedFingerprint per band base.
 	fpMu     sync.Mutex
 	fp       string
-	bandedFP map[float64]string
+	bandedFP map[bandKey]string
 }
 
 // New returns an empty catalog.

@@ -44,27 +44,47 @@ func (c *Catalog) Fingerprint() string {
 // base must exceed 1; any other value falls back to the exact Fingerprint.
 // Digests are memoized per base until the next mutation.
 func (c *Catalog) BandedFingerprint(base float64) string {
+	return c.BandedFingerprintMargin(base, 0)
+}
+
+// BandedFingerprintMargin is BandedFingerprint with every band index
+// offset by margin (in band units) before flooring — the probe digest of
+// band-edge hysteresis. A catalog whose distinct counts sit within
+// |margin| of a band boundary hashes, under the matching-signed margin,
+// identically to a neighbor on the boundary's other side: a small drift
+// step that happens to cross a floor(log_base) boundary can therefore be
+// recognized as the in-band neighbor it really is, instead of splitting
+// the plan cache. Margin 0 is the plain banded digest. Digests are
+// memoized per (base, margin) until the next mutation.
+func (c *Catalog) BandedFingerprintMargin(base, margin float64) string {
 	if !(base > 1) {
 		return c.Fingerprint()
 	}
+	key := bandKey{base: base, margin: margin}
 	c.fpMu.Lock()
 	defer c.fpMu.Unlock()
-	if fp, ok := c.bandedFP[base]; ok {
+	if fp, ok := c.bandedFP[key]; ok {
 		return fp
 	}
-	fp := c.fingerprintBanded(base)
+	fp := c.fingerprintBanded(base, margin)
 	if c.bandedFP == nil {
-		c.bandedFP = make(map[float64]string)
+		c.bandedFP = make(map[bandKey]string)
 	}
-	c.bandedFP[base] = fp
+	c.bandedFP[key] = fp
 	return fp
+}
+
+// bandKey memoizes banded digests per (base, margin).
+type bandKey struct {
+	base, margin float64
 }
 
 // distinctBand quantizes a distinct count: the effective value is clamped
 // to [1, rows] (a distinct count beyond the row count is statistically
 // meaningless and is exactly what multiplicative drift produces), then
-// bucketed geometrically.
-func distinctBand(distinct, rows, base float64) int {
+// bucketed geometrically, with the band index offset by margin before
+// flooring (0 for the canonical band; ± a fraction for hysteresis probes).
+func distinctBand(distinct, rows, base, margin float64) int {
 	eff := distinct
 	if rows > 0 && eff > rows {
 		eff = rows
@@ -72,7 +92,7 @@ func distinctBand(distinct, rows, base float64) int {
 	if eff < 1 {
 		eff = 1
 	}
-	return int(math.Floor(math.Log(eff) / math.Log(base)))
+	return int(math.Floor(math.Log(eff)/math.Log(base) + margin))
 }
 
 // InvalidateFingerprint drops the memoized digest. AddTable/AddIndex call it
@@ -88,11 +108,12 @@ func (c *Catalog) invalidateFingerprint() {
 	c.fpMu.Unlock()
 }
 
-func (c *Catalog) fingerprint() string { return c.fingerprintBanded(0) }
+func (c *Catalog) fingerprint() string { return c.fingerprintBanded(0, 0) }
 
 // fingerprintBanded hashes the catalog with distinct counts either exact
-// (base <= 1) or quantized into geometric bands of the given base.
-func (c *Catalog) fingerprintBanded(base float64) string {
+// (base <= 1) or quantized into geometric bands of the given base, offset
+// by margin band units (hysteresis probes).
+func (c *Catalog) fingerprintBanded(base, margin float64) string {
 	h := sha256.New()
 	for _, name := range c.TableNames() { // sorted
 		t := c.tables[name]
@@ -102,7 +123,7 @@ func (c *Catalog) fingerprintBanded(base float64) string {
 		for _, col := range cols {
 			if base > 1 {
 				fmt.Fprintf(h, "col %s type=%d dband=%d min=%v max=%v\n",
-					col.Name, col.Type, distinctBand(col.Distinct, t.Rows, base), col.Min, col.Max)
+					col.Name, col.Type, distinctBand(col.Distinct, t.Rows, base, margin), col.Min, col.Max)
 			} else {
 				fmt.Fprintf(h, "col %s type=%d distinct=%v min=%v max=%v\n",
 					col.Name, col.Type, col.Distinct, col.Min, col.Max)

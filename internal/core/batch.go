@@ -49,6 +49,15 @@ func (s *Scenario) CacheKey(alg Algorithm) (string, error) {
 // a band maps to the same key and a drifting tenant keeps hitting the
 // cached plan. driftBand <= 1 is the exact key.
 func (s *Scenario) CacheKeyBanded(alg Algorithm, driftBand float64) (string, error) {
+	return s.CacheKeyBandedMargin(alg, driftBand, 0)
+}
+
+// CacheKeyBandedMargin is CacheKeyBanded with the distinct-count bands
+// offset by margin band units (plancache.SignatureMargin) — the band-edge
+// hysteresis probe key: statistics within |margin| of a band boundary key,
+// under the matching-signed margin, exactly as their across-the-boundary
+// neighbor does under margin 0.
+func (s *Scenario) CacheKeyBandedMargin(alg Algorithm, driftBand, margin float64) (string, error) {
 	if err := s.check(); err != nil {
 		return "", err
 	}
@@ -64,8 +73,8 @@ func (s *Scenario) CacheKeyBanded(alg Algorithm, driftBand float64) (string, err
 	if alg != AlgD {
 		selLaws, sizeLaws = nil, nil
 	}
-	return plancache.Signature(s.Cat, s.Query, s.Env, selLaws, sizeLaws,
-		s.Opts, topC, alg.String(), driftBand), nil
+	return plancache.SignatureMargin(s.Cat, s.Query, s.Env, selLaws, sizeLaws,
+		s.Opts, topC, alg.String(), driftBand, margin), nil
 }
 
 // OptimizeBatch optimizes every job, fanning across opts.Workers goroutines,

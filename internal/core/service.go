@@ -33,6 +33,17 @@ const (
 	DefaultDriftBand = 2
 	// DefaultCacheSize is the plan-cache capacity of a new handle.
 	DefaultCacheSize = 4096
+	// BandMargin is the band-edge hysteresis width, in band units: after
+	// a counted miss on a banded key, the handle probes the two keys whose
+	// bands are offset by ±BandMargin before optimizing. A drift step of
+	// up to base^BandMargin (≈19% at the default base 2) that happens to
+	// cross a floor(log_base) boundary is thereby recognized as the
+	// in-band neighbor it really is instead of splitting the cache. The
+	// probe is best effort: an *undrifted* column that coincidentally sits
+	// within the margin of its own boundary shifts under the probe too and
+	// the digests diverge — the probe then simply misses and the request
+	// is optimized normally.
+	BandMargin = 0.25
 )
 
 // Config configures an Optimizer service handle. The root lecopt package
@@ -265,12 +276,38 @@ func (o *Optimizer) runOne(sc *Scenario, alg Algorithm) (PlanReport, bool, error
 	if rep, ok := o.cache.Get(key); ok {
 		return rep, true, nil
 	}
+	if rep, ok := o.probeAdjacent(sc, alg, key); ok {
+		return rep, true, nil
+	}
 	rep, err := sc.Optimize(alg)
 	if err != nil {
 		return PlanReport{}, false, err
 	}
 	o.cache.Put(key, rep)
 	return rep, false, nil
+}
+
+// probeAdjacent is the band-edge hysteresis: after a counted miss on a
+// banded primary key, try the two ±BandMargin probe keys — a drift step
+// that just crossed a floor(log_base) band boundary keys, under the
+// matching-signed margin, exactly as its neighbor did under margin 0. A
+// found report is re-cached under the primary key so the new band serves
+// itself from then on.
+func (o *Optimizer) probeAdjacent(sc *Scenario, alg Algorithm, primary string) (PlanReport, bool) {
+	if o.band <= 1 {
+		return PlanReport{}, false
+	}
+	for _, margin := range []float64{-BandMargin, BandMargin} {
+		probe, err := sc.CacheKeyBandedMargin(alg, o.band, margin)
+		if err != nil || probe == primary {
+			continue
+		}
+		if rep, ok := o.cache.Probe(probe); ok {
+			o.cache.Put(primary, rep)
+			return rep, true
+		}
+	}
+	return PlanReport{}, false
 }
 
 // OptimizeBatch optimizes every request across the handle's worker pool
@@ -327,10 +364,14 @@ func (o *Optimizer) OptimizeBatch(reqs []Request) []Response {
 		})
 		return out
 	}
-	// Group requests by cache key in first-appearance order.
+	// Group requests by cache key in first-appearance order. Band-edge
+	// hysteresis runs here, in this sequential pass — never in the
+	// workers — so which group a near-boundary request joins (and thus the
+	// whole batch outcome) is independent of worker scheduling.
 	type group struct {
-		rep  int
-		dups []int
+		rep     int
+		dups    []int
+		dupKeys []string // parallel to dups; non-empty = cross-band alias
 	}
 	var keys []string
 	groups := make(map[string]*group)
@@ -346,10 +387,45 @@ func (o *Optimizer) OptimizeBatch(reqs []Request) []Response {
 		}
 		if g, ok := groups[k]; ok {
 			g.dups = append(g.dups, i)
-		} else {
-			groups[k] = &group{rep: i}
-			keys = append(keys, k)
+			g.dupKeys = append(g.dupKeys, "")
+			continue
 		}
+		joined := false
+		// Hysteresis only applies on a primary-key miss — a request whose
+		// own band is already cached must get *that* plan (exactly what a
+		// sequential Optimize would return), never a neighbor's. The gate
+		// is an uncounted Probe; the group's worker does the counted Get.
+		if o.band > 1 {
+			if _, cached := o.cache.Probe(k); !cached {
+				for _, margin := range []float64{-BandMargin, BandMargin} {
+					probe, err := scs[i].CacheKeyBandedMargin(reqs[i].Alg, o.band, margin)
+					if err != nil || probe == k {
+						continue
+					}
+					// A same-batch group across the boundary: ride along
+					// as a cross-band dup (the answer is written through
+					// under this request's own key below).
+					if g, ok := groups[probe]; ok {
+						g.dups = append(g.dups, i)
+						g.dupKeys = append(g.dupKeys, k)
+						joined = true
+						break
+					}
+					// A prior-batch entry across the boundary: alias it to
+					// the primary key so this group's worker (and every
+					// future request in the new band) hits.
+					if rep, ok := o.cache.Probe(probe); ok {
+						o.cache.Put(k, rep)
+						break
+					}
+				}
+			}
+		}
+		if joined {
+			continue
+		}
+		groups[k] = &group{rep: i}
+		keys = append(keys, k)
 	}
 	pool.Run(len(keys), pool.Workers(workers, len(keys)), func(gi int) error {
 		key := keys[gi]
@@ -366,7 +442,7 @@ func (o *Optimizer) OptimizeBatch(reqs []Request) []Response {
 				out[i] = Response{PlanReport: rep}
 			}
 		}
-		for _, d := range g.dups {
+		for di, d := range g.dups {
 			if out[i].Err != nil {
 				out[d] = out[i]
 				continue
@@ -375,6 +451,11 @@ func (o *Optimizer) OptimizeBatch(reqs []Request) []Response {
 				out[d] = Response{PlanReport: rep, CacheHit: true}
 			} else { // evicted under pressure mid-batch: reuse the answer
 				out[d] = out[i]
+			}
+			// Cross-band alias: write the shared answer through under the
+			// dup's own key so its band serves itself from now on.
+			if g.dupKeys[di] != "" {
+				o.cache.Put(g.dupKeys[di], out[d].PlanReport)
 			}
 		}
 		return nil

@@ -125,20 +125,23 @@ func emit(result *storage.Relation, o, i storage.Tuple) error {
 // --- nested loops ---------------------------------------------------------
 
 // pageNLJoin: for each outer page, scan the inner. The pool's LRU makes an
-// inner that fits in memory resident after the first pass (the formula's
-// M ≥ S+2 regime); a larger inner floods the cache and pays |A|·|B|.
+// inner that fits in memory resident after the first pass; a larger inner
+// floods the cache and pays the rescan product.
 //
-// Known miscalibration (see ROADMAP): the formula's cheap case keys on
-// S = min(|A|,|B|), i.e. it assumes the *smaller* side can be made
-// resident — but this loop structure only realizes residency for the
-// inner. An outer smaller than the inner with M in [outer+2, inner+2)
-// pays the expensive rescan product the model never charged (observed
-// 9.35x measured/model on the serving agreement corpus, and size
-// feedback cannot help because both inputs are base tables with exact
-// sizes). Pinning a small outer and scanning the inner once fixes the
-// band but re-prices every serving NL execution, so it is left for a
-// dedicated calibration PR.
+// The formula's cheap case keys on S = min(|A|,|B|): it assumes the
+// *smaller* side can be made resident. An outer smaller than the inner
+// with M ∈ [outer+2, inner+2) therefore takes the pinned path below — the
+// residency fix for the historical miscalibration where that window paid
+// a rescan product the model never charged (observed up to 9.35x
+// measured/model on the serving agreement corpus; size feedback cannot
+// help because both inputs are base tables with exact sizes). When
+// nothing fits, the plan's outer drives, so the expensive case realizes
+// the formula's |A| + |A|·|B| exactly. Output rows are in the outer's
+// order and keep (outer, inner) column orientation on both paths.
 func (e *Engine) pageNLJoin(pool *buffer.Pool, outer, inner *storage.Relation, oc, ic int, result *storage.Relation) error {
+	if outer.NumPages() < inner.NumPages() && outer.NumPages()+2 <= pool.Capacity() {
+		return e.pageNLJoinPinned(pool, outer, inner, oc, ic, result)
+	}
 	for op := 0; op < outer.NumPages(); op++ {
 		opage, err := pool.Read(outer.Name, op)
 		if err != nil {
@@ -163,8 +166,55 @@ func (e *Engine) pageNLJoin(pool *buffer.Pool, outer, inner *storage.Relation, o
 	return nil
 }
 
+// pageNLJoinPinned realizes the cheap case with a small resident outer:
+// the outer is read once (it fits the pool by the caller's check), the
+// inner streams once — |A|+|B| physical reads — and matches are buffered
+// per outer tuple so the output keeps the *outer's* row order. The order
+// matters for correctness, not just accounting: the optimizer's order
+// propagation says nested loops preserve the outer's order (dp.go
+// joinOutputOrder), and an index-ordered outer may be satisfying the
+// query's ORDER BY with no sort enforcer above.
+func (e *Engine) pageNLJoinPinned(pool *buffer.Pool, outer, inner *storage.Relation, oc, ic int, result *storage.Relation) error {
+	var outerTuples []storage.Tuple
+	byKey := make(map[int64][]int)
+	for op := 0; op < outer.NumPages(); op++ {
+		opage, err := pool.Read(outer.Name, op)
+		if err != nil {
+			return err
+		}
+		for _, ot := range opage {
+			byKey[ot[oc]] = append(byKey[ot[oc]], len(outerTuples))
+			outerTuples = append(outerTuples, ot)
+		}
+	}
+	matches := make([][]storage.Tuple, len(outerTuples))
+	for ip := 0; ip < inner.NumPages(); ip++ {
+		ipage, err := pool.Read(inner.Name, ip)
+		if err != nil {
+			return err
+		}
+		for _, it := range ipage {
+			for _, pos := range byKey[it[ic]] {
+				matches[pos] = append(matches[pos], it)
+			}
+		}
+	}
+	for pos, ot := range outerTuples {
+		for _, it := range matches[pos] {
+			if err := emit(result, ot, it); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // blockNLJoin reads blocks of M-2 outer pages, then scans the inner once
-// per block: |A| + ⌈|A|/(M-2)⌉·|B| by construction.
+// per block: |A| + ⌈|A|/(M-2)⌉·|B| by construction. Matches are buffered
+// per outer tuple within each block so the output keeps the outer's row
+// order — the property the optimizer's order propagation assigns to
+// nested loops (dp.go joinOutputOrder), which an index-ordered outer may
+// be relying on to satisfy the query's ORDER BY without a sort.
 func (e *Engine) blockNLJoin(pool *buffer.Pool, outer, inner *storage.Relation, oc, ic int, result *storage.Relation) error {
 	blockPages := pool.Capacity() - 2
 	if blockPages < 1 {
@@ -175,27 +225,36 @@ func (e *Engine) blockNLJoin(pool *buffer.Pool, outer, inner *storage.Relation, 
 		if end > outer.NumPages() {
 			end = outer.NumPages()
 		}
-		// Build an in-memory hash table over the block.
-		block := make(map[int64][]storage.Tuple)
+		// Build an in-memory hash table over the block, keeping the
+		// block's tuples in arrival order.
+		var blockTuples []storage.Tuple
+		byKey := make(map[int64][]int)
 		for op := start; op < end; op++ {
 			opage, err := pool.Read(outer.Name, op)
 			if err != nil {
 				return err
 			}
 			for _, ot := range opage {
-				block[ot[oc]] = append(block[ot[oc]], ot)
+				byKey[ot[oc]] = append(byKey[ot[oc]], len(blockTuples))
+				blockTuples = append(blockTuples, ot)
 			}
 		}
+		matches := make([][]storage.Tuple, len(blockTuples))
 		for ip := 0; ip < inner.NumPages(); ip++ {
 			ipage, err := pool.Read(inner.Name, ip)
 			if err != nil {
 				return err
 			}
 			for _, it := range ipage {
-				for _, ot := range block[it[ic]] {
-					if err := emit(result, ot, it); err != nil {
-						return err
-					}
+				for _, pos := range byKey[it[ic]] {
+					matches[pos] = append(matches[pos], it)
+				}
+			}
+		}
+		for pos, ot := range blockTuples {
+			for _, it := range matches[pos] {
+				if err := emit(result, ot, it); err != nil {
+					return err
 				}
 			}
 		}

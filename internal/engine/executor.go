@@ -123,6 +123,28 @@ func (ex *executor) eval(n *plan.Node) (*storage.Relation, []string, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: %s", ErrNoRelation2, n.Table)
 		}
+		switch {
+		case n.Access == plan.AccessIndex:
+			// Real index walk: node/leaf/fetch I/O charged through the
+			// scan's streaming pool; qualifying tuples materialized
+			// (uncharged) for the consuming operator to read.
+			out, st, err := ex.eng.IndexScan(n.Index, n.Pred)
+			if err != nil {
+				return nil, nil, err
+			}
+			return ex.finishScan(n, out, st)
+		case n.Pred != nil:
+			// Filtered heap scan: every base page read (charged), the
+			// qualifying tuples materialized.
+			out, st, err := ex.eng.HeapScanFiltered(n.Table, n.Pred)
+			if err != nil {
+				return nil, nil, err
+			}
+			return ex.finishScan(n, out, st)
+		}
+		// Unfiltered heap scan: hand the base relation to the consumer,
+		// which pays the read — the model's ScanIO charge shows up as the
+		// consuming operator's input pass.
 		return rel, []string{n.Table}, nil
 	case plan.KindSort:
 		child, tables, err := ex.eval(n.Child)
@@ -138,8 +160,9 @@ func (ex *executor) eval(n *plan.Node) (*storage.Relation, []string, error) {
 			mem = 3
 		}
 		// In-memory sorts are free in the model; still read the input if
-		// it's a base table (already charged when it was a join output).
-		if child.NumPages() <= mem && n.Child.Kind != plan.KindScan {
+		// it's an unmaterialized base table (materialized inputs — join
+		// outputs and filtered/index scan temps — were already charged).
+		if child.NumPages() <= mem && (n.Child.Kind != plan.KindScan || child.Name != n.Child.Table) {
 			sorted, err := ex.materializeSorted(child)
 			if err != nil {
 				return nil, nil, err
@@ -179,6 +202,18 @@ func (ex *executor) eval(n *plan.Node) (*storage.Relation, []string, error) {
 	default:
 		return nil, nil, fmt.Errorf("engine: unknown plan node kind %v", n.Kind)
 	}
+}
+
+// finishScan books a materialized access path: its I/O lands in phase 0
+// (the convention single-table sorts already follow — the model's scan
+// charges carry no phase attribution, only the total must agree), its
+// observed post-filter size feeds the executed-size loop under the
+// single-table feedback key, and the temp is tracked for cleanup.
+func (ex *executor) finishScan(n *plan.Node, out *storage.Relation, st buffer.Stats) (*storage.Relation, []string, error) {
+	ex.charge(0, st)
+	ex.joinSizes[feedback.SetKey(n.Table)] = float64(out.NumPages())
+	ex.temps = append(ex.temps, out.Name)
+	return out, []string{n.Table}, nil
 }
 
 func (ex *executor) charge(phase int, st buffer.Stats) {

@@ -262,10 +262,12 @@ func (c *ctx) prepareTable(name string, idx int) (*tableInfo, error) {
 	}
 	ti.pages = c.clampPages(ti.sel * t.Pages)
 	ti.sizeLaw = dist.Point(ti.pages)
+	pred := compilePred(c.blk.FiltersOn(name))
 
 	// Heap scan: read every base page, filter on the fly.
 	heap := plan.NewScan(name, plan.AccessHeap, "", ti.sel, ti.pages)
 	heap.IO = cost.ScanIO(t.Pages)
+	heap.Pred = pred
 	ti.accesses = append(ti.accesses, accessCand{node: heap, io: heap.IO})
 
 	if c.opts.DisableIndexes {
@@ -295,10 +297,54 @@ func (c *ctx) prepareTable(name string, idx int) (*tableInfo, error) {
 		io := cost.IndexScanIO(ix.Height, ixSel, t.Pages, t.Rows, ix.Clustered)
 		node := plan.NewScan(name, plan.AccessIndex, ix.Name, ti.sel, ti.pages)
 		node.IO = io
+		node.Pred = pred
 		node.OutOrder = ord
 		ti.accesses = append(ti.accesses, accessCand{node: node, io: io, order: ord})
 	}
 	return ti, nil
+}
+
+// compilePred reduces a table's local filters to one executable
+// single-column range (plan.ScanPred). All filters must target the same
+// column and use range-expressible operators; anything else returns nil
+// and the scan stays estimation-only (the engine then executes the
+// unfiltered physical shape, the pre-access-path behavior).
+func compilePred(filters []query.Filter) *plan.ScanPred {
+	if len(filters) == 0 {
+		return nil
+	}
+	p := &plan.ScanPred{Column: filters[0].Col.Column}
+	setLo := func(v float64, open bool) {
+		if !p.HasLo || v > p.Lo || (v == p.Lo && open) {
+			p.Lo, p.LoOpen, p.HasLo = v, open, true
+		}
+	}
+	setHi := func(v float64, open bool) {
+		if !p.HasHi || v < p.Hi || (v == p.Hi && open) {
+			p.Hi, p.HiOpen, p.HasHi = v, open, true
+		}
+	}
+	for _, f := range filters {
+		if f.Col.Column != p.Column {
+			return nil
+		}
+		switch f.Op {
+		case catalog.OpEq:
+			setLo(f.Value, false)
+			setHi(f.Value, false)
+		case catalog.OpLt:
+			setHi(f.Value, true)
+		case catalog.OpLe:
+			setHi(f.Value, false)
+		case catalog.OpGt:
+			setLo(f.Value, true)
+		case catalog.OpGe:
+			setLo(f.Value, false)
+		default:
+			return nil
+		}
+	}
+	return p
 }
 
 func (c *ctx) preparePairs() error {

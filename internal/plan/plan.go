@@ -71,6 +71,62 @@ func (o Order) String() string {
 	return o.Table + "." + o.Column
 }
 
+// ScanPred is a compiled single-column range predicate pushed into a scan
+// — the executable form of the query's local filters on one table, carried
+// on the plan so the execution engine can evaluate the access path (walk
+// an index range, or filter a heap scan) without re-deriving predicates
+// from the query block. The optimizer sets it on every access candidate of
+// a table whose filters all target one column; multi-column filter sets
+// stay estimation-only (Pred nil) and the engine executes the unfiltered
+// physical shape, as before.
+type ScanPred struct {
+	Column string
+	// Lo/Hi bound the qualifying values; Has* report whether each bound
+	// exists and *Open whether it is exclusive.
+	Lo, Hi         float64
+	HasLo, HasHi   bool
+	LoOpen, HiOpen bool
+}
+
+// Match reports whether a value satisfies the predicate.
+func (p *ScanPred) Match(v float64) bool {
+	if p == nil {
+		return true
+	}
+	if p.HasLo && (v < p.Lo || (p.LoOpen && v == p.Lo)) {
+		return false
+	}
+	if p.HasHi && (v > p.Hi || (p.HiOpen && v == p.Hi)) {
+		return false
+	}
+	return true
+}
+
+// KeyRange returns the predicate as an inclusive integer key interval —
+// the form an index walk over int64 keys consumes. A nil predicate is the
+// full range.
+func (p *ScanPred) KeyRange() (lo, hi int64) {
+	lo, hi = math.MinInt64, math.MaxInt64
+	if p == nil {
+		return lo, hi
+	}
+	if p.HasLo {
+		l := math.Ceil(p.Lo)
+		if p.LoOpen && l == p.Lo {
+			l++
+		}
+		lo = int64(l)
+	}
+	if p.HasHi {
+		h := math.Floor(p.Hi)
+		if p.HiOpen && h == p.Hi {
+			h--
+		}
+		hi = int64(h)
+	}
+	return lo, hi
+}
+
 // Node is one operator of a physical plan. A single struct with a Kind
 // discriminator keeps tree surgery, printing and signatures simple.
 type Node struct {
@@ -79,8 +135,9 @@ type Node struct {
 	// Scan fields.
 	Table  string
 	Access Access
-	Index  string  // index name when Access == AccessIndex
-	Sel    float64 // local-filter selectivity applied during the scan
+	Index  string    // index name when Access == AccessIndex
+	Sel    float64   // local-filter selectivity applied during the scan
+	Pred   *ScanPred // compiled filter range, when the filters admit one
 
 	// Join fields.
 	Method      cost.JoinMethod
@@ -424,6 +481,10 @@ func (n *Node) Clone() *Node {
 		return nil
 	}
 	out := *n
+	if n.Pred != nil {
+		p := *n.Pred
+		out.Pred = &p
+	}
 	out.Left = n.Left.Clone()
 	out.Right = n.Right.Clone()
 	out.Child = n.Child.Clone()

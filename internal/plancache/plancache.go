@@ -80,6 +80,24 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
+// Probe is Get without touching the hit/miss counters: the lookup used by
+// band-edge hysteresis, which speculatively tries adjacent-band keys after
+// a counted miss. Counting those speculative lookups would dilute the hit
+// rate the cache reports for its *primary* keys. A found entry is still
+// marked most-recently-used — serving a plan keeps it warm however it was
+// found.
+func (c *Cache[V]) Probe(key string) (V, bool) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
 // Put stores key→val, evicting the shard's least-recently-used entry when
 // the shard is full. Storing an existing key refreshes its value and recency.
 func (c *Cache[V]) Put(key string, val V) {

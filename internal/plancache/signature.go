@@ -39,11 +39,25 @@ import (
 func Signature(cat *catalog.Catalog, blk *query.Block, env envsim.Env,
 	selLaws, sizeLaws map[string]dist.Dist, opts optimizer.Options, topC int,
 	alg string, driftBand float64) string {
+	return SignatureMargin(cat, blk, env, selLaws, sizeLaws, opts, topC, alg, driftBand, 0)
+}
+
+// SignatureMargin is Signature with the catalog's distinct-count bands
+// offset by margin band units (catalog.BandedFingerprintMargin) — the
+// band-edge hysteresis probe key. Everything outside the catalog digest
+// hashes identically to Signature, so a statistics state sitting within
+// |margin| of a band boundary produces, under the matching-signed margin,
+// the very key its across-the-boundary neighbor was cached under. Margin
+// only applies to banded keys (driftBand > 1); with exact keys it is
+// ignored.
+func SignatureMargin(cat *catalog.Catalog, blk *query.Block, env envsim.Env,
+	selLaws, sizeLaws map[string]dist.Dist, opts optimizer.Options, topC int,
+	alg string, driftBand, margin float64) string {
 	opts = opts.Normalized() // zero-value and explicit defaults hash equal
 	h := sha256.New()
 	fmt.Fprintf(h, "alg=%s topc=%d\n", alg, topC)
 	if driftBand > 1 {
-		fmt.Fprintf(h, "cat=%s band=%v\n", cat.BandedFingerprint(driftBand), driftBand)
+		fmt.Fprintf(h, "cat=%s band=%v\n", cat.BandedFingerprintMargin(driftBand, margin), driftBand)
 	} else {
 		fmt.Fprintf(h, "cat=%s\n", cat.Fingerprint())
 	}

@@ -121,15 +121,17 @@ func (r *Relation) AllTuples() []Tuple {
 	return out
 }
 
-// Store is a named collection of relations — the "disk".
+// Store is a named collection of relations — the "disk" — plus the
+// registry of indexes built over them (see index.go).
 type Store struct {
 	rels    map[string]*Relation
+	indexes map[string]*Index
 	tempSeq int
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{rels: make(map[string]*Relation)}
+	return &Store{rels: make(map[string]*Relation), indexes: make(map[string]*Index)}
 }
 
 // Add registers a relation.

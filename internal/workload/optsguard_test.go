@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoHardcodedDisableIndexes guards the serving loop's honesty: the
+// executor has a real index access path now, so no optimizer.Options
+// composite literal anywhere under internal/workload may quietly set
+// DisableIndexes: true again — heap-only runs are a *spec* decision
+// (MixSpec.DisableIndexes, `lecbench -workload -noindex`), threaded through
+// Mix.planOpts, never a hardcoded plan-space restriction. The one lawful
+// literal is the explicitly heap-only comparison arm of the rank-agreement
+// test, whose point is the contrast itself (file allow-listed below).
+func TestNoHardcodedDisableIndexes(t *testing.T) {
+	allowed := map[string]bool{
+		filepath.Join("serving", "indexrank_test.go"): true,
+	}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") || allowed[path] {
+			return err
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isOptionsType(lit.Type) {
+				return true
+			}
+			for _, el := range lit.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || key.Name != "DisableIndexes" {
+					continue
+				}
+				if val, ok := kv.Value.(*ast.Ident); ok && val.Name == "true" {
+					t.Errorf("%s: hardcoded optimizer.Options{DisableIndexes: true} — route heap-only runs through MixSpec.DisableIndexes instead",
+						fset.Position(kv.Pos()))
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// isOptionsType matches the optimizer.Options (or dot-imported Options)
+// composite-literal type.
+func isOptionsType(expr ast.Expr) bool {
+	switch ty := expr.(type) {
+	case *ast.SelectorExpr:
+		return ty.Sel.Name == "Options"
+	case *ast.Ident:
+		return ty.Name == "Options"
+	}
+	return false
+}

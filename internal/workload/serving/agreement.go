@@ -11,7 +11,6 @@ import (
 	"lecopt/internal/cost"
 	"lecopt/internal/dist"
 	"lecopt/internal/envsim"
-	"lecopt/internal/optimizer"
 	"lecopt/internal/plan"
 )
 
@@ -46,28 +45,32 @@ type AgreementConfig struct {
 // the page-level engine. Nested-loop-bearing plans get their own band
 // because PageNL's expensive case charges outer·inner — the rescan
 // product squares any intermediate-size estimation error, which is
-// exactly what executed-size feedback removes.
+// exactly what executed-size feedback removes. Index-scan-bearing plans
+// (without nested loops) get a third band: their access cost is priced by
+// cost.IndexScanIO against the engine's real root-to-leaf walk.
 type AgreementReport struct {
 	Trials   int  `json:"trials"`
 	Feedback bool `json:"feedback"`
 
-	// BandSMGH covers plans using only sort-merge and grace-hash joins
-	// (cost linear in input sizes); BandNL covers plans containing a
-	// nested-loop join.
+	// BandSMGH covers heap-scan plans using only sort-merge and
+	// grace-hash joins (cost linear in input sizes); BandNL covers plans
+	// containing a nested-loop join (classified first: the rescan product
+	// dominates any access-path discrepancy); BandIX covers the remaining
+	// plans containing an index scan.
 	BandSMGH float64 `json:"band_smgh"`
 	BandNL   float64 `json:"band_nl"`
+	BandIX   float64 `json:"band_ix"`
 
 	// MeanAbsLog* is the mean |ln(measured/model)| per class — the
 	// average miscalibration, which executed-size feedback shrinks even
-	// when the worst-case band is pinned by a non-size discrepancy (the
-	// engine's nested-loop residency case documented in
-	// engine.pageNLJoin keeps its band regardless of feedback, because
-	// its inputs are base tables with exactly known sizes).
+	// when the worst-case band is pinned by a non-size discrepancy.
 	MeanAbsLogSMGH float64 `json:"mean_abs_log_smgh"`
 	MeanAbsLogNL   float64 `json:"mean_abs_log_nl"`
+	MeanAbsLogIX   float64 `json:"mean_abs_log_ix"`
 
 	PlansSMGH int `json:"plans_smgh"`
 	PlansNL   int `json:"plans_nl"`
+	PlansIX   int `json:"plans_ix"`
 
 	// FeedbackObservations counts the folded size observations (0 when
 	// feedback is off).
@@ -116,7 +119,7 @@ func (m *Mix) MeasureModelAgreement(cfg AgreementConfig) (*AgreementReport, erro
 		factors = []float64{1}
 	}
 	driftCats := map[driftCatKey]*catalog.Catalog{}
-	rep := &AgreementReport{Trials: trials, Feedback: cfg.Feedback, BandSMGH: 1, BandNL: 1}
+	rep := &AgreementReport{Trials: trials, Feedback: cfg.Feedback, BandSMGH: 1, BandNL: 1, BandIX: 1}
 
 	for trial := 0; trial < trials; trial++ {
 		q := m.Queries[trial%len(m.Queries)]
@@ -124,10 +127,8 @@ func (m *Mix) MeasureModelAgreement(cfg AgreementConfig) (*AgreementReport, erro
 		if err != nil {
 			return nil, err
 		}
-		opts := &optimizer.Options{
-			DisableIndexes: true,
-			Methods:        methodSets[trial%len(methodSets)],
-		}
+		opts := m.planOpts()
+		opts.Methods = methodSets[trial%len(methodSets)]
 		// A random optimization memory decouples the plan's choice point
 		// from the executed trajectory, exactly like a serving mix under
 		// memory drift.
@@ -185,13 +186,20 @@ func (m *Mix) MeasureModelAgreement(cfg AgreementConfig) (*AgreementReport, erro
 		if 1/ratio > ratio {
 			ratio = 1 / ratio
 		}
-		if hasNestedLoopJoin(cur) {
+		switch {
+		case hasNestedLoopJoin(cur):
 			rep.PlansNL++
 			rep.MeanAbsLogNL += math.Log(ratio)
 			if ratio > rep.BandNL {
 				rep.BandNL = ratio
 			}
-		} else {
+		case hasIndexScan(cur):
+			rep.PlansIX++
+			rep.MeanAbsLogIX += math.Log(ratio)
+			if ratio > rep.BandIX {
+				rep.BandIX = ratio
+			}
+		default:
 			rep.PlansSMGH++
 			rep.MeanAbsLogSMGH += math.Log(ratio)
 			if ratio > rep.BandSMGH {
@@ -201,6 +209,9 @@ func (m *Mix) MeasureModelAgreement(cfg AgreementConfig) (*AgreementReport, erro
 	}
 	if rep.PlansNL > 0 {
 		rep.MeanAbsLogNL /= float64(rep.PlansNL)
+	}
+	if rep.PlansIX > 0 {
+		rep.MeanAbsLogIX /= float64(rep.PlansIX)
 	}
 	if rep.PlansSMGH > 0 {
 		rep.MeanAbsLogSMGH /= float64(rep.PlansSMGH)
@@ -215,6 +226,17 @@ func hasNestedLoopJoin(p *plan.Node) bool {
 	found := false
 	p.Walk(func(n *plan.Node) {
 		if n.Kind == plan.KindJoin && (n.Method == cost.PageNL || n.Method == cost.BlockNL) {
+			found = true
+		}
+	})
+	return found
+}
+
+// hasIndexScan reports whether any leaf of the plan is an index scan.
+func hasIndexScan(p *plan.Node) bool {
+	found := false
+	p.Walk(func(n *plan.Node) {
+		if n.Kind == plan.KindScan && n.Access == plan.AccessIndex {
 			found = true
 		}
 	})

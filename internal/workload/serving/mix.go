@@ -20,6 +20,7 @@ import (
 	"lecopt/internal/dist"
 	"lecopt/internal/engine"
 	"lecopt/internal/envsim"
+	"lecopt/internal/optimizer"
 	"lecopt/internal/query"
 	"lecopt/internal/storage"
 	"lecopt/internal/workload"
@@ -63,6 +64,28 @@ type MixSpec struct {
 	OrderByProb          float64
 	Shapes               []workload.Shape
 
+	// FilterProb is the probability that a query carries a range filter
+	// "t.k <= v" on one of its tables, with v drawn so the selectivity is
+	// uniform in [MinFilterSel, MaxFilterSel] — the choice point between
+	// an index walk and a heap scan, the paper's Sections 2/5 hedging
+	// scenario. Zero disables filters.
+	FilterProb                 float64
+	MinFilterSel, MaxFilterSel float64
+
+	// DisableIndexes makes the mix heap-only: no physical indexes are
+	// built and the optimizer's plan space drops index access paths —
+	// the pre-access-path behavior (`lecbench -workload -noindex`). The
+	// default (false) builds an index on every table's join key (clustered
+	// on sorted tables, unclustered otherwise; see IndexFanout) and lets
+	// both policies plan real index scans the engine executes.
+	DisableIndexes bool
+	// ClusteredProb is the probability a table is stored in key order and
+	// gets a clustered index (otherwise unclustered). Ignored when
+	// DisableIndexes is set.
+	ClusteredProb float64
+	// IndexFanout is the entry capacity of every index page (default 16).
+	IndexFanout int
+
 	Tenants []Tenant
 	Drift   DriftSpec
 }
@@ -85,6 +108,11 @@ func DefaultMixSpec() (MixSpec, error) {
 		TuplesPerPage: 6,
 		KeyRange:      600,
 		OrderByProb:   0.4,
+		FilterProb:    0.5,
+		MinFilterSel:  0.05,
+		MaxFilterSel:  0.6,
+		ClusteredProb: 0.5,
+		IndexFanout:   16,
 		Shapes:        []workload.Shape{workload.Chain, workload.Star, workload.Random},
 		Tenants:       tenants,
 		Drift:         DriftSpec{Factors: []float64{0.5, 1, 2}, Stay: 0.85},
@@ -165,6 +193,20 @@ func NewMix(spec MixSpec, rng *rand.Rand) (*Mix, error) {
 	if len(spec.Shapes) == 0 {
 		return nil, fmt.Errorf("%w: no shapes", ErrBadMix)
 	}
+	if spec.FilterProb < 0 || spec.FilterProb > 1 || math.IsNaN(spec.FilterProb) {
+		return nil, fmt.Errorf("%w: filter prob %v", ErrBadMix, spec.FilterProb)
+	}
+	if spec.FilterProb > 0 {
+		if !(spec.MinFilterSel > 0) || spec.MaxFilterSel < spec.MinFilterSel || spec.MaxFilterSel > 1 {
+			return nil, fmt.Errorf("%w: filter selectivity range [%v, %v]", ErrBadMix, spec.MinFilterSel, spec.MaxFilterSel)
+		}
+	}
+	if spec.ClusteredProb < 0 || spec.ClusteredProb > 1 || math.IsNaN(spec.ClusteredProb) {
+		return nil, fmt.Errorf("%w: clustered prob %v", ErrBadMix, spec.ClusteredProb)
+	}
+	if spec.IndexFanout < 0 || spec.IndexFanout == 1 {
+		return nil, fmt.Errorf("%w: index fanout %d", ErrBadMix, spec.IndexFanout)
+	}
 	if len(spec.Tenants) == 0 {
 		return nil, fmt.Errorf("%w: no tenants", ErrBadMix)
 	}
@@ -215,22 +257,38 @@ func NewMix(spec MixSpec, rng *rand.Rand) (*Mix, error) {
 
 // generateServingQuery builds one query: a join block over freshly
 // materialized relations plus a catalog whose statistics agree with the
-// generator. Filters and indexes are deliberately absent — the executor
-// runs the physical shape only (no residual predicates, no index access
-// paths), and matched statistics keep the engine-vs-model comparison about
-// plan choice rather than estimation error.
+// generator (matched statistics keep the engine-vs-model comparison about
+// plan choice rather than estimation error). Unless the spec disables
+// indexes, every table gets a physical B-tree index on its join key —
+// clustered over key-ordered storage with probability ClusteredProb,
+// unclustered otherwise — whose built height is what the catalog records,
+// so cost.IndexScanIO prices the very structure the engine walks. With
+// FilterProb a query carries one range filter "t.k <= v", the
+// index-vs-heap-scan choice point of the paper's headline examples.
 func generateServingQuery(id int, spec MixSpec, rng *rand.Rand) (*ServingQuery, error) {
 	tables := spec.MinTables + rng.Intn(spec.MaxTables-spec.MinTables+1)
 	shape := spec.Shapes[rng.Intn(len(spec.Shapes))]
+	fanout := spec.IndexFanout
+	if fanout == 0 {
+		fanout = 16
+	}
 	cat := catalog.New()
 	store := storage.NewStore()
 	names := make([]string, tables)
 	for i := range names {
 		names[i] = fmt.Sprintf("t%d", i)
 		pages := spec.MinPages + rng.Intn(spec.MaxPages-spec.MinPages+1)
-		rel, err := storage.Generate(storage.GenSpec{
+		gen := storage.GenSpec{
 			Name: names[i], Pages: pages, TuplesPerPage: spec.TuplesPerPage, KeyRange: spec.KeyRange,
-		}, rng)
+		}
+		clustered := !spec.DisableIndexes && rng.Float64() < spec.ClusteredProb
+		var rel *storage.Relation
+		var err error
+		if clustered {
+			rel, err = storage.GenerateSorted(gen, rng)
+		} else {
+			rel, err = storage.Generate(gen, rng)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -244,6 +302,19 @@ func generateServingQuery(id int, spec MixSpec, rng *rand.Rand) (*ServingQuery, 
 		}
 		if err := cat.AddTable(tab); err != nil {
 			return nil, err
+		}
+		if !spec.DisableIndexes {
+			ixName := fmt.Sprintf("ix_%s_k", names[i])
+			ix, err := storage.BuildIndex(store, ixName, names[i], "k", clustered, fanout)
+			if err != nil {
+				return nil, err
+			}
+			if err := cat.AddIndex(catalog.Index{
+				Name: ixName, Table: names[i], Column: "k",
+				Clustered: clustered, Height: float64(ix.Height()),
+			}); err != nil {
+				return nil, err
+			}
 		}
 	}
 	blk := &query.Block{Tables: names}
@@ -278,6 +349,14 @@ func generateServingQuery(id int, spec MixSpec, rng *rand.Rand) (*ServingQuery, 
 	if rng.Float64() < spec.OrderByProb {
 		blk.OrderBy = &query.ColRef{Table: names[rng.Intn(tables)], Column: "k"}
 	}
+	if rng.Float64() < spec.FilterProb {
+		sel := spec.MinFilterSel + rng.Float64()*(spec.MaxFilterSel-spec.MinFilterSel)
+		blk.Filters = append(blk.Filters, query.Filter{
+			Col:   query.ColRef{Table: names[rng.Intn(tables)], Column: "k"},
+			Op:    catalog.OpLe,
+			Value: math.Round(sel * float64(spec.KeyRange)),
+		})
+	}
 	if err := blk.Validate(cat); err != nil {
 		return nil, err
 	}
@@ -289,6 +368,14 @@ func generateServingQuery(id int, spec MixSpec, rng *rand.Rand) (*ServingQuery, 
 		Eng:    engine.New(store),
 		Phases: tables - 1,
 	}, nil
+}
+
+// planOpts returns the optimizer plan-space options a mix's requests run
+// under — the one place the spec's index switch feeds the optimizer, so a
+// heap-only mix ("-noindex") and an index-enabled mix differ by exactly
+// this field.
+func (m *Mix) planOpts() *optimizer.Options {
+	return &optimizer.Options{DisableIndexes: m.Spec.DisableIndexes}
 }
 
 // driftedCatalog rebuilds a query's catalog with every distinct count

@@ -33,14 +33,32 @@ import (
 // — but they are *bounds*, and regressions in either layer (a mispriced
 // formula, an engine join reading inputs twice) break them.
 const (
-	modelAgreementBand   = 3.5
-	modelAgreementBandNL = 16
-	// modelAgreementBandNLFeedback is the nested-loop band with
-	// executed-size feedback closed through the Optimizer handle: the
-	// observed intermediate sizes remove the size-estimation error that
-	// PageNL's outer·inner product squares, collapsing the band from 16
-	// to single digits (ISSUE acceptance: <= 8).
-	modelAgreementBandNLFeedback = 8
+	modelAgreementBand = 3.5
+	// modelAgreementBandNL is the nested-loop band on the *undrifted*
+	// corpus (TestEngineModelAgreement optimizes against exact statistics).
+	// Historically 16 (worst observed 11.5): the engine's pageNLJoin only
+	// realized the formula's cheap case for a resident inner, so a small
+	// outer with M ∈ [outer+2, inner+2) paid a rescan product the model
+	// never charged. The residency fix (pin the smaller side) removed
+	// that whole failure mode; what remains is ordinary size-estimation
+	// noise through the rescan product.
+	modelAgreementBandNL = 4
+	// modelAgreementBandIX is the band for index-scan-bearing plans (no
+	// nested loop): engine root-to-leaf walk + leaf run + fetches vs
+	// cost.IndexScanIO.
+	modelAgreementBandIX = 4
+	// modelAgreementBandNLFeedback is the nested-loop band on the
+	// *drifted* corpus with executed-size feedback closed through the
+	// Optimizer handle: observed intermediate sizes remove the
+	// size-estimation error that PageNL's outer·inner product squares.
+	// With the residency fix landed the feedback fixpoint tightens from
+	// the historical 8 to <= 4 (ISSUE acceptance).
+	modelAgreementBandNLFeedback = 4
+	// driftedAgreementBandNL bounds the drifted corpus *without* feedback:
+	// the ±2x statistics drift enters the rescan product squared, so this
+	// band is inherently wide (observed 9.99) — but the residency fix
+	// still tightened its historical 16x bound.
+	driftedAgreementBandNL = 12
 )
 
 // TestEngineModelAgreement is the ISSUE's property test: for a corpus of
@@ -76,12 +94,11 @@ func TestEngineModelAgreement(t *testing.T) {
 		memSeq []float64
 	}
 	worst := offender{ratio: 1}
-	checked := 0
+	checked, checkedIX := 0, 0
 	for trial := 0; trial < 60; trial++ {
 		q := m.Queries[trial%len(m.Queries)]
 		opts := optimizer.Options{
-			DisableIndexes: true,
-			Methods:        methodSets[trial%len(methodSets)],
+			Methods: methodSets[trial%len(methodSets)],
 		}
 		// A random optimization memory decouples the plan's choice point
 		// from the executed trajectory: plans get executed far from where
@@ -134,18 +151,25 @@ func TestEngineModelAgreement(t *testing.T) {
 			worst = offender{ratio: r, plan: res.Plan.String(), memSeq: memSeq}
 		}
 		band := float64(modelAgreementBand)
-		if hasNestedLoopJoin(res.Plan) {
+		switch {
+		case hasNestedLoopJoin(res.Plan):
 			band = modelAgreementBandNL
+		case hasIndexScan(res.Plan):
+			band = modelAgreementBandIX
+			checkedIX++
 		}
 		if ratio > band || ratio < 1/band {
 			t.Errorf("trial %d: measured/model ratio %.3f outside [%.3f, %.1f]\nmemSeq: %v\nplan:\n%s",
 				trial, ratio, 1/band, band, memSeq, res.Plan)
 		}
 	}
-	t.Logf("%d plans checked; worst symmetric ratio %.3f\nworst plan (memSeq %v):\n%s",
-		checked, worst.ratio, worst.memSeq, worst.plan)
+	t.Logf("%d plans checked (%d index-bearing); worst symmetric ratio %.3f\nworst plan (memSeq %v):\n%s",
+		checked, checkedIX, worst.ratio, worst.memSeq, worst.plan)
 	if checked == 0 {
 		t.Fatal("corpus empty")
+	}
+	if checkedIX == 0 {
+		t.Fatal("corpus produced no index-scan plans; the index band is untested")
 	}
 }
 
@@ -174,16 +198,25 @@ func TestEngineModelAgreementFeedback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("bands without feedback: SM/GH %.3f (%d plans), NL %.3f (%d plans)",
-		before.BandSMGH, before.PlansSMGH, before.BandNL, before.PlansNL)
-	t.Logf("bands with    feedback: SM/GH %.3f (%d plans), NL %.3f (%d plans), %d observations",
-		after.BandSMGH, after.PlansSMGH, after.BandNL, after.PlansNL, after.FeedbackObservations)
+	t.Logf("bands without feedback: SM/GH %.3f (%d plans), NL %.3f (%d plans), IX %.3f (%d plans)",
+		before.BandSMGH, before.PlansSMGH, before.BandNL, before.PlansNL, before.BandIX, before.PlansIX)
+	t.Logf("bands with    feedback: SM/GH %.3f (%d plans), NL %.3f (%d plans), IX %.3f (%d plans), %d observations",
+		after.BandSMGH, after.PlansSMGH, after.BandNL, after.PlansNL, after.BandIX, after.PlansIX,
+		after.FeedbackObservations)
 	if before.PlansNL == 0 || after.PlansNL == 0 {
 		t.Fatal("corpus produced no nested-loop plans; the NL band is untested")
 	}
-	if before.BandSMGH > modelAgreementBand || before.BandNL > modelAgreementBandNL {
-		t.Fatalf("no-feedback bands regressed: SM/GH %.3f (limit %v), NL %.3f (limit %v)",
-			before.BandSMGH, modelAgreementBand, before.BandNL, modelAgreementBandNL)
+	if before.PlansIX == 0 || after.PlansIX == 0 {
+		t.Fatal("corpus produced no index-scan plans; the index band is untested")
+	}
+	if before.BandSMGH > modelAgreementBand {
+		t.Fatalf("no-feedback SM/GH band regressed: %.3f (limit %v)", before.BandSMGH, modelAgreementBand)
+	}
+	// The drifted no-feedback NL band is dominated by size-estimation
+	// error (the rescan product squares the drift), which only feedback
+	// removes; the residency fix still halved its historical 16x bound.
+	if before.BandNL > driftedAgreementBandNL {
+		t.Fatalf("no-feedback drifted NL band regressed: %.3f (limit %v)", before.BandNL, float64(driftedAgreementBandNL))
 	}
 	if after.FeedbackObservations == 0 {
 		t.Fatal("feedback sweep folded no observations")
@@ -194,5 +227,11 @@ func TestEngineModelAgreementFeedback(t *testing.T) {
 	}
 	if after.BandSMGH > modelAgreementBand {
 		t.Fatalf("feedback widened the SM/GH band: %.3f > %v", after.BandSMGH, modelAgreementBand)
+	}
+	// Index-scan pricing carries no intermediate-size dependence, so its
+	// band must hold with and without feedback.
+	if before.BandIX > modelAgreementBandIX || after.BandIX > modelAgreementBandIX {
+		t.Fatalf("index band out of bounds: %.3f / %.3f (limit %v)",
+			before.BandIX, after.BandIX, float64(modelAgreementBandIX))
 	}
 }

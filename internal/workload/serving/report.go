@@ -1,5 +1,11 @@
 package serving
 
+import (
+	"sort"
+
+	"lecopt/internal/plan"
+)
+
 // Report is the outcome of one engine-in-the-loop run: realized (measured)
 // physical I/O of the LSC and LEC policies over the same request stream
 // and the same sampled memory trajectories. It is the BENCH_workload.json
@@ -64,6 +70,20 @@ type Report struct {
 
 	PerQuery  []QueryStats  `json:"per_query"`
 	PerTenant []TenantStats `json:"per_tenant"`
+
+	// PlanDump lists every distinct physical plan either policy executed,
+	// with how many requests ran it — the artifact-level evidence of
+	// *which* operators (heap scans, index scans, join methods, sorts)
+	// the run actually exercised. Sorted by query, then policy, then plan.
+	PlanDump []PlanCount `json:"plan_dump"`
+}
+
+// PlanCount is one distinct executed plan of a run.
+type PlanCount struct {
+	Query    int    `json:"query"`
+	Policy   string `json:"policy"` // "lsc" or "lec"
+	Requests int    `json:"requests"`
+	Plan     string `json:"plan"` // indented operator tree (plan.Node.String)
 }
 
 // QueryStats is one query's realized totals.
@@ -105,10 +125,18 @@ type aggregator struct {
 
 	perQuery  []QueryStats
 	perTenant []TenantStats
+	plans     map[planKey]*PlanCount
+}
+
+// planKey identifies one distinct executed plan per query and policy.
+type planKey struct {
+	query  int
+	policy string
+	sig    string
 }
 
 func newAggregator(m *Mix, cfg RunConfig) *aggregator {
-	a := &aggregator{mix: m, cfg: cfg}
+	a := &aggregator{mix: m, cfg: cfg, plans: make(map[planKey]*PlanCount)}
 	a.perQuery = make([]QueryStats, len(m.Queries))
 	for i, q := range m.Queries {
 		a.perQuery[i] = QueryStats{ID: q.ID, Tables: len(q.Block.Tables)}
@@ -146,6 +174,8 @@ func (a *aggregator) observe(req request, pair planPair, lsc, lec execOutcome) {
 	if pair.lsc.Signature() == pair.lec.Signature() {
 		a.agree++
 	}
+	a.countPlan(req.query, "lsc", pair.lsc)
+	a.countPlan(req.query, "lec", pair.lec)
 	q := &a.perQuery[req.query]
 	q.Requests++
 	q.LSCIO += lsc.io
@@ -160,6 +190,16 @@ func (a *aggregator) observe(req request, pair planPair, lsc, lec execOutcome) {
 	t.Wins += win
 	t.Ties += tie
 	t.Losses += 1 - win - tie
+}
+
+// countPlan tallies one executed (query, policy, plan) combination.
+func (a *aggregator) countPlan(query int, policy string, p *plan.Node) {
+	k := planKey{query: query, policy: policy, sig: p.Signature()}
+	if pc, ok := a.plans[k]; ok {
+		pc.Requests++
+		return
+	}
+	a.plans[k] = &PlanCount{Query: query, Policy: policy, Requests: 1, Plan: p.String()}
 }
 
 func ratioOf(lec, lsc int64) float64 {
@@ -202,5 +242,18 @@ func (a *aggregator) report() *Report {
 	}
 	rep.PerQuery = a.perQuery
 	rep.PerTenant = a.perTenant
+	for _, pc := range a.plans {
+		rep.PlanDump = append(rep.PlanDump, *pc)
+	}
+	sort.Slice(rep.PlanDump, func(i, j int) bool {
+		a, b := rep.PlanDump[i], rep.PlanDump[j]
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		return a.Plan < b.Plan
+	})
 	return rep
 }

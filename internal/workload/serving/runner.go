@@ -9,7 +9,6 @@ import (
 	"lecopt/internal/catalog"
 	"lecopt/internal/core"
 	"lecopt/internal/envsim"
-	"lecopt/internal/optimizer"
 	"lecopt/internal/plan"
 	"lecopt/internal/plancache"
 )
@@ -201,9 +200,10 @@ func (m *Mix) optimizeAll(keys []optKey, cfg RunConfig) ([]planPair, plancache.S
 		DisableFeedback: true,
 	})
 	driftCats := map[driftCatKey]*catalog.Catalog{}
-	// The executor has no index access path, so the optimizer must not
-	// plan one.
-	servingOpts := &optimizer.Options{DisableIndexes: true}
+	// The plan space follows the mix: index access paths are in unless the
+	// spec generated a heap-only mix (the executor runs real index walks,
+	// so there is nothing left to gate here).
+	servingOpts := m.planOpts()
 	reqs := make([]core.Request, 0, 2*len(keys))
 	for _, k := range keys {
 		q := m.Queries[k.query]

@@ -3,6 +3,7 @@ package serving
 import (
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"lecopt/internal/core"
@@ -114,5 +115,56 @@ func TestRunExplicitAlgorithms(t *testing.T) {
 	}
 	if rep.LSCAlgorithm != "lsc-mean" || rep.LECAlgorithm != "algorithm-c" {
 		t.Fatalf("algorithm labels wrong: %+v", rep)
+	}
+}
+
+// TestRunExecutesIndexPlans: the default (index-enabled) mix must actually
+// execute index-scan plans — the ISSUE acceptance that `Scan(..., index)`
+// nodes appear in the artifact's plan dump — and a heap-only spec
+// (DisableIndexes) must reproduce the historical all-heap behavior.
+func TestRunExecutesIndexPlans(t *testing.T) {
+	rep, err := defaultMix(t, 1).Run(RunConfig{Requests: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PlanDump) == 0 {
+		t.Fatal("no plan dump collected")
+	}
+	indexPlans, covered := 0, 0
+	for _, pc := range rep.PlanDump {
+		covered += pc.Requests
+		if strings.Contains(pc.Plan, "index") {
+			indexPlans++
+		}
+	}
+	if indexPlans == 0 {
+		t.Fatal("default mix executed no index plans; the access-path layer is not reaching serving")
+	}
+	// Both policies' plans are counted per request.
+	if covered != 2*rep.Requests {
+		t.Fatalf("plan dump covers %d plan-requests, want %d", covered, 2*rep.Requests)
+	}
+	t.Logf("%d distinct plans executed, %d index-bearing", len(rep.PlanDump), indexPlans)
+
+	spec, err := DefaultMixSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.DisableIndexes = true
+	m, err := NewMix(spec, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heapRep, err := m.Run(RunConfig{Requests: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range heapRep.PlanDump {
+		if strings.Contains(pc.Plan, "index") {
+			t.Fatalf("heap-only mix executed an index plan:\n%s", pc.Plan)
+		}
+	}
+	if heapRep.TotalLECIO > heapRep.TotalLSCIO {
+		t.Fatalf("heap-only mix: LEC realized more I/O than LSC: %d > %d", heapRep.TotalLECIO, heapRep.TotalLSCIO)
 	}
 }
