@@ -1,0 +1,89 @@
+// Command leclint runs the repo's typed static-analysis suite
+// (internal/lint) over the whole module and reports every invariant
+// violation as file:line:col: [analyzer] message, exiting nonzero when
+// anything is found. It is the CI lane's entry point; `go test ./...`
+// enforces the same gate through internal/lint's module test.
+//
+// Usage:
+//
+//	leclint [-json] [-list] [./...]
+//
+// The only supported pattern is the whole module (./...); leclint's
+// analyzers are module-wide by design — a partial run could vacuously
+// pass an invariant whose violation sits in an unlisted package.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lecopt/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array (for tooling)")
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: leclint [-json] [-list] [./...]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "all" {
+			fmt.Fprintf(os.Stderr, "leclint: unsupported pattern %q (leclint always analyzes the whole module; use ./...)\n", arg)
+			os.Exit(2)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leclint:", err)
+		os.Exit(2)
+	}
+	n, err := run(wd, *jsonOut, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leclint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "leclint: %d finding(s)\n", n)
+		}
+		os.Exit(1)
+	}
+}
+
+// run loads the module at (or above) dir, executes the full analyzer
+// registry, writes diagnostics to out, and returns the finding count.
+func run(dir string, jsonOut bool, out io.Writer) (int, error) {
+	mod, err := lint.LoadModule(dir)
+	if err != nil {
+		return 0, err
+	}
+	diags := lint.Run(mod, lint.Analyzers())
+	if jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			return len(diags), err
+		}
+		return len(diags), nil
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	return len(diags), nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanTree pins the acceptance gate: leclint over the repo's own
+// tree finds nothing (every violation is fixed or carries a justified
+// allow directive).
+func TestRunCleanTree(t *testing.T) {
+	var sb strings.Builder
+	n, err := run(".", false, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("leclint found %d violation(s) in the tree:\n%s", n, sb.String())
+	}
+}
+
+// TestRunJSON checks the tooling contract: -json always emits a valid
+// JSON array, empty on a clean tree.
+func TestRunJSON(t *testing.T) {
+	var sb strings.Builder
+	n, err := run(".", true, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, sb.String())
+	}
+	if len(diags) != n {
+		t.Fatalf("JSON array has %d entries, run reported %d", len(diags), n)
+	}
+}

@@ -1,82 +1,44 @@
 package lecopt
 
 import (
-	"io/fs"
-	"os"
-	"path/filepath"
-	"regexp"
-	"strconv"
 	"strings"
 	"testing"
+
+	"lecopt/internal/lint"
 )
 
-// TestNoUnseededRand pins the repo-wide determinism contract: every use of
+// TestNoUnseededRand is the repo-wide determinism contract: every use of
 // math/rand must flow through an explicitly seeded rand.New(rand.NewSource(
-// seed)) generator. The package-level helpers (rand.Intn, rand.Float64, …)
-// draw from a process-global source, which would make workload generation,
-// experiments and the differential corpus irreproducible — exactly the
-// failure mode the batch-vs-sequential comparisons cannot tolerate. An
-// audit found zero offenders; this test keeps it that way.
+// seed)) generator, never the process-global helpers and never a wall-clock
+// seed, and no map range may emit iteration-order-dependent data unsorted.
+// The actual enforcement lives in internal/lint's type-resolved
+// `determinism` analyzer (which subsumed this test's original regex scan
+// and its clock-seed pattern); this shim keeps the historical test name as
+// a thin registry invocation so a determinism regression still fails under
+// its old, greppable banner. Package coverage of the walk is guarded by
+// lint's TestModuleCoverage.
 func TestNoUnseededRand(t *testing.T) {
-	// Matches package-level calls like `rand.Intn(` but not method calls on
-	// a *rand.Rand value (those are spelled rng.Intn) and not the allowed
-	// constructors rand.New / rand.NewSource / rand.NewZipf.
-	forbidden := regexp.MustCompile(
-		`\brand\.(Intn?|Int31n?|Int63n?|Uint32|Uint64|Float32|Float64|NormFloat64|ExpFloat64|Perm|Shuffle|Seed|Read)\(`)
-	// Wall-clock seeds smuggle nondeterminism past the pattern above.
-	clockSeed := regexp.MustCompile(`rand\.NewSource\([^)]*time\.Now`)
-	var offenders []string
-	scanned := map[string]bool{}
-	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || path == "determinism_test.go" {
-			return nil
-		}
-		scanned[path] = true
-		src, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		for i, line := range strings.Split(string(src), "\n") {
-			if forbidden.MatchString(line) || clockSeed.MatchString(line) {
-				offenders = append(offenders, path+":"+strconv.Itoa(i+1)+": "+strings.TrimSpace(line))
-			}
-		}
-		return nil
-	})
+	m, err := lint.LoadModule(".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(offenders) > 0 {
-		t.Errorf("unseeded package-level math/rand calls (use rand.New(rand.NewSource(seed))):\n  %s",
-			strings.Join(offenders, "\n  "))
+	a := lint.ByName("determinism")
+	if a == nil {
+		t.Fatal("determinism analyzer missing from the leclint registry")
 	}
-	// Guard the audit's own coverage: every sampling-heavy package must be
-	// under the walk (a future SkipDir tweak silently exempting the
-	// workload generators or the serving runner would gut this test).
-	for _, mustSee := range []string{
-		"internal/workload/workload.go",
-		"internal/workload/serving/mix.go",
-		"internal/workload/serving/runner.go",
-		"internal/workload/serving/agreement.go",
-		"internal/envsim/envsim.go",
-		"internal/dist/chain.go",
-		"internal/core/service.go",
-		"internal/feedback/feedback.go",
-		"cmd/lecbench/throughput.go",
-		"cmd/lecbench/workloadmode.go",
-		"service.go",
-	} {
-		if !scanned[mustSee] {
-			t.Errorf("determinism audit no longer scans %s", mustSee)
+	for _, d := range lint.Run(m, []*lint.Analyzer{a}) {
+		t.Errorf("%s", d)
+	}
+	// The analyzer must still reach this root package: its own unit list
+	// is the walk the old test hand-rolled.
+	found := false
+	for _, u := range m.Units {
+		if u.Path == "lecopt" || strings.HasPrefix(u.Path, "lecopt/") {
+			found = true
+			break
 		}
+	}
+	if !found {
+		t.Fatal("lint module load covers no lecopt packages")
 	}
 }

@@ -269,6 +269,7 @@ func hashKey(k int64, level int) uint64 {
 	for i := 0; i < 8; i++ {
 		b[i+1] = byte(v >> (8 * i))
 	}
+	//leclint:allow errdrop -- hash.Hash.Write never returns an error per its contract
 	_, _ = h.Write(b[:])
 	return h.Sum64()
 }

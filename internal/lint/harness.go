@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// wantRe matches the fixture expectation syntax: one or more
+// backquote-free, double-quoted regexps after a `// want` marker, in
+// the spirit of go/analysis's analysistest:
+//
+//	rand.Intn(6) // want `global source`
+//	x, y := f()  // want "dropped" "twice"
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// expectation is one // want regexp on one fixture line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// CheckFixture runs the given analyzers over the fixture module and
+// verifies its diagnostics against the fixture's // want comments: every
+// diagnostic must match a // want regexp on its line, and every // want
+// must be hit exactly once. Returns a list of mismatch descriptions
+// (empty on success) — the caller turns them into test failures, which
+// keeps this harness free of a testing dependency.
+func CheckFixture(m *Module, analyzers []*Analyzer) []string {
+	var wants []*expectation
+	for _, u := range m.Units {
+		for _, f := range u.Files {
+			wants = append(wants, parseWants(m.Fset, f)...)
+		}
+	}
+	var problems []string
+	for _, d := range Run(m, analyzers) {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.File && w.line == d.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern))
+		}
+	}
+	return problems
+}
+
+// parseWants extracts the // want expectations of one fixture file.
+func parseWants(fset *token.FileSet, f *ast.File) []*expectation {
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx+len("// want "):], -1) {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					// Surface the broken pattern as an unmatchable want.
+					re = regexp.MustCompile(regexp.QuoteMeta("broken want regexp: " + pat))
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,88 @@
+// Package dist is a leclint fixture shadowing lecopt/internal/dist: the
+// distimmut analyzer matches on the import-path suffix, so the blessed
+// constructors here may fill law fields while every other write is a
+// seeded violation.
+package dist
+
+// Dist mirrors the real immutable law's shape.
+type Dist struct {
+	vals  []float64
+	probs []float64
+}
+
+// Chain mirrors the real row-stochastic chain's shape.
+type Chain struct {
+	states []float64
+	rows   [][]float64
+}
+
+// New is a blessed constructor: filling the fresh value is legal. True
+// negative.
+func New(vals, probs []float64) Dist {
+	var d Dist
+	for i := range vals {
+		d.vals = append(d.vals, vals[i])
+		d.probs = append(d.probs, probs[i])
+	}
+	if len(d.probs) > 0 {
+		d.probs[0] = d.probs[0] // in-place fix-ups are constructor-only
+	}
+	return d
+}
+
+// Sticky is a blessed constructor for chains. True negative.
+func Sticky(states []float64) *Chain {
+	c := &Chain{states: states, rows: make([][]float64, len(states))}
+	for i := range c.rows {
+		c.rows[i] = make([]float64, len(states))
+		c.rows[i][i] = 1
+	}
+	return c
+}
+
+// scaleInPlace mutates through a value receiver: the backing slices are
+// shared, so this rewrites the original law.
+func (d Dist) scaleInPlace(f float64) {
+	for i := range d.vals {
+		d.vals[i] *= f // want `laws are immutable`
+	}
+}
+
+// reweight mutates through a pointer: equally forbidden outside the
+// constructors.
+func reweight(d *Dist, p float64) {
+	d.probs[0] = p // want `laws are immutable`
+}
+
+// truncate replaces a law's backing slice wholesale.
+func truncate(d *Dist, n int) {
+	d.vals = d.vals[:n] // want `laws are immutable`
+}
+
+// bump uses an IncDecStmt, which is still a write.
+func bump(c *Chain) {
+	c.rows[0][0]++ // want `laws are immutable`
+}
+
+// holder embeds a law by value; writes through the outer struct still hit
+// the law's backing arrays.
+type holder struct {
+	law Dist
+}
+
+// pokeNested writes through a nested selector chain.
+func (h *holder) pokeNested() {
+	h.law.probs[0] = 0.5 // want `laws are immutable`
+}
+
+// rebuild is the lawful alternative: construct a fresh value. True
+// negative — writes land on locals, not Dist/Chain fields.
+func rebuild(d Dist, f float64) Dist {
+	vals := make([]float64, len(d.vals))
+	probs := make([]float64, len(d.probs))
+	for i := range d.vals {
+		vals[i] = d.vals[i] * f
+		probs[i] = d.probs[i]
+	}
+	return New(vals, probs)
+}

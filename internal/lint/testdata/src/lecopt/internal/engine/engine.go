@@ -1,0 +1,74 @@
+// Package engine is a leclint fixture shadowing lecopt/internal/engine:
+// the errdrop analyzer covers the I/O-charging packages by import-path
+// suffix, so the dropped errors here are seeded violations.
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// readPage stands in for a charging I/O call.
+func readPage(p int) (int, error) {
+	if p < 0 {
+		return 0, errors.New("bad page")
+	}
+	return p, nil
+}
+
+// flush stands in for an error-only call.
+func flush() error { return nil }
+
+// rowCount returns no error at all. Discarding it is fine.
+func rowCount() int { return 42 }
+
+// dropsExprStmt discards an error-only result as a bare statement.
+func dropsExprStmt() {
+	flush() // want `never checked`
+}
+
+// dropsBlank discards the error position with a blank.
+func dropsBlank() int {
+	n, _ := readPage(3) // want `assigned to _`
+	return n
+}
+
+// dropsDefer loses the deferred call's error.
+func dropsDefer() {
+	defer flush() // want `deferred`
+}
+
+// dropsGo loses the spawned call's error.
+func dropsGo() {
+	go flush() // want `goroutine`
+}
+
+// handled checks every error. True negative.
+func handled() (int, error) {
+	n, err := readPage(3)
+	if err != nil {
+		return 0, err
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// noError discards a result that carries no error. True negative.
+func noError() {
+	rowCount()
+}
+
+// waived carries a justified directive. True negative.
+func waived() {
+	//leclint:allow errdrop -- fixture: demonstrates a justified drop
+	flush()
+}
+
+// conversionNotCall converts to an error type; conversions are not
+// dropped calls. True negative.
+func conversionNotCall(v error) {
+	s := fmt.Sprint(error(v))
+	_ = s
+}

@@ -1,0 +1,10 @@
+// Package optimizer is a leclint fixture shadowing the real optimizer
+// package: just enough surface for the optguard fixture to build Options
+// literals against.
+package optimizer
+
+// Options mirrors the real planning options.
+type Options struct {
+	DisableIndexes bool
+	Workers        int
+}

@@ -1,0 +1,30 @@
+// Package query is a leclint fixture shadowing lecopt/internal/query: the
+// fppurity analyzer roots at Block.Canonical, so the global-RNG helper it
+// reaches is a seeded violation.
+package query
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Block is a minimal stand-in for the real query block.
+type Block struct {
+	Tables []string
+}
+
+// Canonical is a purity entry point: dedup signatures must be pure.
+func (b *Block) Canonical() string {
+	tables := append([]string(nil), b.Tables...)
+	sort.Strings(tables)
+	return strings.Join(tables, ",") + tieBreak()
+}
+
+// tieBreak consults the global RNG from inside the signature.
+func tieBreak() string {
+	if rand.Float64() < 0.5 { // want `global RNG`
+		return "|a"
+	}
+	return "|b"
+}

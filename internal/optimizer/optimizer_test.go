@@ -442,6 +442,7 @@ func TestIndexAccessPathChosenForSelectiveFilter(t *testing.T) {
 	approx(t, r.EC, 13, 1e-9, "index scan cost")
 
 	// DisableIndexes forces the heap scan.
+	//leclint:allow optguard -- this test asserts DisableIndexes itself forces the heap path
 	r2, err := LSC(cat, blk, Options{DisableIndexes: true}, 100)
 	if err != nil {
 		t.Fatal(err)

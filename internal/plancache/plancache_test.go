@@ -134,6 +134,7 @@ func TestSignatureDeterministicAndDiscriminating(t *testing.T) {
 	if base == sig(sc, env, optimizer.Options{}, 3, "algorithm-a") {
 		t.Fatal("algorithm not in signature")
 	}
+	//leclint:allow optguard -- asserts the options (incl. DisableIndexes) are part of the cache signature
 	if base == sig(sc, env, optimizer.Options{DisableIndexes: true}, 3, "algorithm-c") {
 		t.Fatal("options not in signature")
 	}

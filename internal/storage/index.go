@@ -96,7 +96,10 @@ func BuildIndex(s *Store, name, table, column string, clustered bool, fanout int
 	prev := int64(0)
 	sorted := true
 	for p := 0; p < rel.NumPages(); p++ {
-		page, _ := rel.Page(p)
+		page, err := rel.Page(p)
+		if err != nil {
+			return nil, err
+		}
 		for slot, t := range page {
 			k := t[col]
 			if len(entries) > 0 && k < prev {
@@ -144,7 +147,10 @@ func BuildIndex(s *Store, name, table, column string, clustered bool, fanout int
 	}
 	leafFirst := make([]int64, 0, leaves.NumPages())
 	for p := 0; p < leaves.NumPages(); p++ {
-		pg, _ := leaves.Page(p)
+		pg, err := leaves.Page(p)
+		if err != nil {
+			return nil, err
+		}
 		if len(pg) > 0 {
 			leafFirst = append(leafFirst, pg[0][leafKeyCol])
 		}

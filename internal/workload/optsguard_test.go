@@ -1,72 +1,33 @@
 package workload
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"path/filepath"
 	"strings"
 	"testing"
+
+	"lecopt/internal/lint"
 )
 
-// TestNoHardcodedDisableIndexes guards the serving loop's honesty: the
-// executor has a real index access path now, so no optimizer.Options
-// composite literal anywhere under internal/workload may quietly set
-// DisableIndexes: true again — heap-only runs are a *spec* decision
-// (MixSpec.DisableIndexes, `lecbench -workload -noindex`), threaded through
-// Mix.planOpts, never a hardcoded plan-space restriction. The one lawful
-// literal is the explicitly heap-only comparison arm of the rank-agreement
-// test, whose point is the contrast itself (file allow-listed below).
+// TestNoHardcodedDisableIndexes is a thin shim over internal/lint's
+// module-wide `optguard` analyzer, which replaced this file's original
+// ad-hoc AST walk: it asserts the analyzer still covers internal/workload
+// (the loader sees the package and its serving subpackage) and that no
+// hardcoded optimizer.Options{DisableIndexes: true} literal survives
+// there. The full module-wide gate lives in internal/lint and cmd/leclint.
 func TestNoHardcodedDisableIndexes(t *testing.T) {
-	allowed := map[string]bool{
-		filepath.Join("serving", "indexrank_test.go"): true,
-	}
-	fset := token.NewFileSet()
-	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") || allowed[path] {
-			return err
-		}
-		file, err := parser.ParseFile(fset, path, nil, 0)
-		if err != nil {
-			return err
-		}
-		ast.Inspect(file, func(n ast.Node) bool {
-			lit, ok := n.(*ast.CompositeLit)
-			if !ok || !isOptionsType(lit.Type) {
-				return true
-			}
-			for _, el := range lit.Elts {
-				kv, ok := el.(*ast.KeyValueExpr)
-				if !ok {
-					continue
-				}
-				key, ok := kv.Key.(*ast.Ident)
-				if !ok || key.Name != "DisableIndexes" {
-					continue
-				}
-				if val, ok := kv.Value.(*ast.Ident); ok && val.Name == "true" {
-					t.Errorf("%s: hardcoded optimizer.Options{DisableIndexes: true} — route heap-only runs through MixSpec.DisableIndexes instead",
-						fset.Position(kv.Pos()))
-				}
-			}
-			return true
-		})
-		return nil
-	})
+	m, err := lint.LoadModule(".")
 	if err != nil {
 		t.Fatal(err)
 	}
-}
-
-// isOptionsType matches the optimizer.Options (or dot-imported Options)
-// composite-literal type.
-func isOptionsType(expr ast.Expr) bool {
-	switch ty := expr.(type) {
-	case *ast.SelectorExpr:
-		return ty.Sel.Name == "Options"
-	case *ast.Ident:
-		return ty.Name == "Options"
+	covered := map[string]bool{}
+	for _, u := range m.Units {
+		covered[u.Path] = true
 	}
-	return false
+	if !covered["lecopt/internal/workload"] || !covered["lecopt/internal/workload/serving"] {
+		t.Fatal("optguard analyzer no longer covers internal/workload")
+	}
+	for _, d := range lint.Run(m, []*lint.Analyzer{lint.ByName("optguard")}) {
+		if strings.Contains(d.File, "internal/workload") {
+			t.Errorf("%s", d)
+		}
+	}
 }

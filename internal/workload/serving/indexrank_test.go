@@ -86,6 +86,7 @@ func TestIndexPlanRankAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//leclint:allow optguard -- deliberate heap-only comparison arm; the contrast with the index plan is the test's point
 	heapOnly, err := optimizer.LSC(cat, blk, optimizer.Options{DisableIndexes: true}, optMem)
 	if err != nil {
 		t.Fatal(err)
