@@ -21,6 +21,12 @@ type workloadModeConfig struct {
 	DriftBand float64 // 0: service default (banded); <= 1: exact keys
 	NoBands   bool    // skip the model-agreement band sweeps
 	NoIndex   bool    // heap-only mix: no physical indexes, no index plans
+	// NoRankGate downgrades a per-tenant rank inversion from an error to
+	// the printed RANK-INVERSION marker. The heap-only smoke runs with it:
+	// that mix has a known residual (shared-volatile's multi-pass grace
+	// hash under drift, localized by the phase ledger and tracked in
+	// ROADMAP.md), while the default index-enabled mix gates hard.
+	NoRankGate bool
 }
 
 // workloadArtifact is the BENCH_workload.json payload: the serving report
@@ -88,14 +94,24 @@ func runWorkloadMode(cfg workloadModeConfig, jsonPath string, w io.Writer) (*lec
 		rep.DistinctOptimizations, 100*rep.PlanCacheHitRate, rep.DriftBand,
 		rep.PlanCacheEvictions, 100*rep.ExecCacheHitRate)
 	for _, ts := range rep.PerTenant {
-		fmt.Fprintf(w, "  tenant %-16s %4d req  ratio %.4f  (w/t/l %d/%d/%d)\n",
-			ts.Name, ts.Requests, ts.Ratio, ts.Wins, ts.Ties, ts.Losses)
+		rank := "rank-ok"
+		if !ts.RankAgreement {
+			rank = "RANK-INVERSION"
+		}
+		fmt.Fprintf(w, "  tenant %-16s %4d req  ratio %.4f (pred %.4f)  (w/t/l %d/%d/%d)  %s\n",
+			ts.Name, ts.Requests, ts.Ratio, ts.PredictedRatio, ts.Wins, ts.Ties, ts.Losses, rank)
 	}
+	fmt.Fprintf(w, "  phase ledger: %d attribution cells\n", len(rep.PhaseLedger))
 	claim := "HOLDS"
 	if rep.TotalLECIO > rep.TotalLSCIO {
 		claim = "VIOLATED"
 	}
 	fmt.Fprintf(w, "  claim (aggregate realized LEC <= LSC): %s\n", claim)
+	rankClaim := "HOLDS"
+	if !rep.RankAgreement {
+		rankClaim = "VIOLATED"
+	}
+	fmt.Fprintf(w, "  claim (per-tenant analytic ranking matches realized ranking): %s\n", rankClaim)
 
 	artifact := workloadArtifact{WorkloadReport: *rep}
 	if !cfg.NoBands {
@@ -127,6 +143,19 @@ func runWorkloadMode(cfg workloadModeConfig, jsonPath string, w io.Writer) (*lec
 			return rep, err
 		}
 		fmt.Fprintf(w, "  wrote %s\n", jsonPath)
+	}
+	// The rank-agreement claim gates CI: an inversion means the model ranked
+	// the two policies opposite to the engine's realized I/O for some tenant
+	// — exactly the regression the phase ledger exists to localize. The
+	// artifact is written first so the failing run leaves its ledger behind.
+	if !rep.RankAgreement && !cfg.NoRankGate {
+		for _, ts := range rep.PerTenant {
+			if !ts.RankAgreement {
+				return rep, fmt.Errorf("workload: tenant %s rank inversion: predicted ratio %.4f, realized %.4f",
+					ts.Name, ts.PredictedRatio, ts.Ratio)
+			}
+		}
+		return rep, fmt.Errorf("workload: rank inversion")
 	}
 	return rep, nil
 }

@@ -154,3 +154,39 @@ func TestDifferentialBatchMatchesSequential(t *testing.T) {
 		t.Errorf("warm pass: %d/%d cache hits", hits, len(jobs))
 	}
 }
+
+// TestDifferentialPhaseECContract pins the phase-count contract across the
+// whole corpus: every algorithm's report carries exactly one analytic
+// charge per execution phase of its plan (the same count the engine uses
+// for ExecResult.PhaseIO — both sides are defined by plan.Phases()), every
+// entry is finite and non-negative, and for the memory-only algorithms the
+// entries sum back to the minimized score. A drifting phase index — the
+// bug class behind the dynamic-memory rank inversion — breaks one of
+// these on some corpus shape.
+func TestDifferentialPhaseECContract(t *testing.T) {
+	algs := []Algorithm{AlgLSCMean, AlgLSCMode, AlgA, AlgB, AlgC}
+	for i, sc := range diffCorpus(t) {
+		for _, alg := range algs {
+			rep, err := sc.Optimize(alg)
+			if err != nil {
+				t.Fatalf("scenario %d: %s: %v", i, alg, err)
+			}
+			phases := rep.Plan.Phases()
+			if len(rep.PhaseEC) != phases {
+				t.Fatalf("scenario %d: %s: %d phase charges for a %d-phase plan (%s)",
+					i, alg, len(rep.PhaseEC), phases, rep.Plan.Signature())
+			}
+			var sum float64
+			for pi, v := range rep.PhaseEC {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("scenario %d: %s: PhaseEC[%d]=%v", i, alg, pi, v)
+				}
+				sum += v
+			}
+			if !relClose(sum, rep.Score, 1e-9) {
+				t.Errorf("scenario %d: %s: sum(PhaseEC)=%v != Score=%v (plan %s)",
+					i, alg, sum, rep.Score, rep.Plan.Signature())
+			}
+		}
+	}
+}

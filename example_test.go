@@ -56,8 +56,8 @@ func Example() {
 	fmt.Printf("lec:       %s (EC %.4g)\n", lec.Plan.Signature(), lec.EC)
 	fmt.Printf("lec wins: %v\n", lec.EC < classical.EC)
 	// Output:
-	// classical: (A sort-merge B) (EC 4.76e+06)
-	// lec:       sort<A.k>((A grace-hash B)) (EC 4.206e+06)
+	// classical: (A sort-merge B) (EC 3.36e+06)
+	// lec:       sort<A.k>((A grace-hash B)) (EC 2.806e+06)
 	// lec wins: true
 }
 
@@ -82,9 +82,9 @@ func ExampleScenario_Compare() {
 		fmt.Printf("%-11s EC %.4g\n", r.Algorithm, r.EC)
 	}
 	// Output:
-	// lsc-mean    EC 4.76e+06
-	// algorithm-a EC 4.206e+06
-	// algorithm-c EC 4.206e+06
+	// lsc-mean    EC 3.36e+06
+	// algorithm-a EC 2.806e+06
+	// algorithm-c EC 2.806e+06
 }
 
 // ExamplePointDist shows the degenerate law under which every LEC

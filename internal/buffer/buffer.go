@@ -95,7 +95,11 @@ func (p *Pool) Read(rel string, idx int) ([]storage.Tuple, error) {
 }
 
 // AppendPage writes a page to the tail of a relation (write-through: one
-// physical write), and caches it.
+// physical write), and caches it. The cached frame is a copy: callers
+// (pageWriter in particular) reuse the slice they pass in, and a frame
+// aliasing a reused buffer mutates in place — the corruption only
+// surfaces when the frame survives in the LRU until the page is re-read,
+// which is exactly what happens at low partition fan-outs.
 func (p *Pool) AppendPage(rel string, page []storage.Tuple) error {
 	r, err := p.store.Get(rel)
 	if err != nil {
@@ -105,7 +109,7 @@ func (p *Pool) AppendPage(rel string, page []storage.Tuple) error {
 		return err
 	}
 	p.stats.Writes++
-	p.insert(PageID{Rel: rel, Index: r.NumPages() - 1}, page)
+	p.insert(PageID{Rel: rel, Index: r.NumPages() - 1}, append([]storage.Tuple(nil), page...))
 	return nil
 }
 

@@ -94,6 +94,10 @@ type PlanReport struct {
 	// EC is the plan's expected cost under the scenario's environment —
 	// the common yardstick across algorithms.
 	EC float64
+	// PhaseEC breaks Score down by execution phase (one entry per plan
+	// phase, summing to Score for the memory-only algorithms); see
+	// optimizer.Result.PhaseEC.
+	PhaseEC []float64
 	// Candidates and Probes forward optimizer bookkeeping.
 	Candidates int
 	Probes     int
@@ -166,6 +170,7 @@ func (s *Scenario) Optimize(alg Algorithm) (PlanReport, error) {
 		Plan:       res.Plan,
 		Score:      res.EC,
 		EC:         ec,
+		PhaseEC:    res.PhaseEC,
 		Candidates: res.Candidates,
 		Probes:     res.Probes,
 	}, nil

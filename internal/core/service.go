@@ -690,14 +690,20 @@ func (p *Prepared) SelectDrifted(mem dist.Dist, factor float64) (Response, error
 	if err != nil {
 		return Response{Err: err}, err
 	}
-	return Response{
-		PlanReport: PlanReport{
-			Algorithm:  AlgC,
-			Plan:       pl,
-			Score:      ec,
-			EC:         ec,
-			Candidates: s.plans.Plans(),
-		},
-		Parametric: true,
-	}, nil
+	rep := PlanReport{
+		Algorithm:  AlgC,
+		Plan:       pl,
+		Score:      ec,
+		EC:         ec,
+		Candidates: s.plans.Plans(),
+	}
+	// Parametric selection skips the optimizer, so derive the per-phase
+	// breakdown here: the selected plan charged under the static memory
+	// law at every phase, matching what AlgorithmC would report.
+	if laws, lerr := optimizer.PhaseLawsFor(len(p.block.Tables), mem, nil); lerr == nil {
+		if ph, perr := optimizer.ExpectedCostPhases(pl, laws); perr == nil {
+			rep.PhaseEC = ph
+		}
+	}
+	return Response{PlanReport: rep, Parametric: true}, nil
 }

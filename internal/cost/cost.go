@@ -24,10 +24,13 @@ const (
 	//   2(|A|+|B|) if M > √L; 4(|A|+|B|) if ∛L < M ≤ √L; 6(|A|+|B|) if M ≤ ∛L.
 	// Output is ordered on the join column.
 	SortMerge JoinMethod = iota
-	// GraceHash is Grace hash join [Sha86]. Same pass structure as
-	// sort-merge but the memory thresholds depend on the SMALLER input
-	// S = min(|A|,|B|): two passes when M > √S. This asymmetry versus
-	// sort-merge is what drives Example 1.1. Output is unordered.
+	// GraceHash is Grace hash join [Sha86]. The memory thresholds depend
+	// on the SMALLER input S = min(|A|,|B|): one pass (|A|+|B|) when the
+	// build side fits in memory (M ≥ S+2 — hybrid hash's degenerate
+	// case, which the engine realizes as an in-memory hash join), two
+	// passes when M > √S, then the same 4/6-pass structure as
+	// sort-merge. This asymmetry versus sort-merge is what drives
+	// Example 1.1. Output is unordered.
 	GraceHash
 	// PageNL is page nested-loop join (Section 3.6.2), S = min(|A|,|B|):
 	//   |A|+|B| if M ≥ S+2; |A| + |A|·|B| if M < S+2   (A is the outer).
@@ -74,6 +77,14 @@ func JoinIO(method JoinMethod, outer, inner, mem float64) float64 {
 	case SortMerge:
 		return passMultiplier(math.Max(outer, inner), mem) * (outer + inner)
 	case GraceHash:
+		// Build side fits (S pages + 2 streaming frames): one-pass
+		// in-memory hash join, each side read exactly once. Without this
+		// case the model charges 2(|A|+|B|) in a regime where the engine
+		// pays |A|+|B| — a memory-dependent 2× error that inverts the
+		// grace-hash/page-nl ranking at high memory.
+		if mem >= math.Min(outer, inner)+2 {
+			return outer + inner
+		}
 		return passMultiplier(math.Min(outer, inner), mem) * (outer + inner)
 	case PageNL:
 		if mem >= math.Min(outer, inner)+2 {
@@ -153,7 +164,7 @@ func JoinBreakpoints(method JoinMethod, outer, inner float64, maxBreaks int) []f
 		return []float64{nextUp(math.Cbrt(l)), nextUp(math.Sqrt(l))}
 	case GraceHash:
 		s := math.Min(outer, inner)
-		return []float64{nextUp(math.Cbrt(s)), nextUp(math.Sqrt(s))}
+		return []float64{nextUp(math.Cbrt(s)), nextUp(math.Sqrt(s)), s + 2}
 	case PageNL:
 		return []float64{math.Min(outer, inner) + 2}
 	case BlockNL:

@@ -394,3 +394,36 @@ func TestJoinEmptyMatchSet(t *testing.T) {
 		e.Store().Drop(res.Name)
 	}
 }
+
+// TestGraceHashRecursiveSplit: re-partitioning a bucket at the next
+// recursion level must actually split it. The original hashKey fed the
+// raw FNV sum to `% fanOut`: with a power-of-two fan-out (capacity-1 is
+// 4, 8 or 16 at the common memory levels) changing the level salt only
+// *rotated* the low bits, so every key of a bucket moved to the same
+// next-level bucket, the bucket never shrank, recursion always ran to
+// the level cap, and the block-nested-loop fallback executed at 3-page
+// memory — realized I/O 10x the analytic charge, which inverted the
+// LSC-vs-LEC ranking for low-memory tenants. With the avalanche
+// finalizer the whole join must stay within the documented 4x band of
+// the paper's formula and still produce the exact join result.
+func TestGraceHashRecursiveSplit(t *testing.T) {
+	// A=200, B=20 pages at mem=5: B needs two partitioning levels
+	// (fan-out is 4 — the pathological power of two).
+	e := loadPair(t, 23, 200, 20, 10, 97)
+	want := refJoin(t, e)
+	res, st, err := e.Join(JoinSpec{Method: cost.GraceHash, Outer: "A", Inner: "B", OuterCol: "k", InnerCol: "k"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultKeys(t, res); !equalSlices(got, want) {
+		t.Fatalf("recursive grace hash: %d rows, want %d", len(got), len(want))
+	}
+	e.Store().Drop(res.Name)
+	model := cost.JoinIO(cost.GraceHash, 200, 20, 5)
+	ratio := float64(st.IO()) / model
+	t.Logf("engine=%d model=%.0f ratio=%.2f", st.IO(), model, ratio)
+	if ratio >= 4 {
+		t.Fatalf("recursive grace hash I/O %d is %.1fx the analytic %g: bucket splitting is broken again",
+			st.IO(), ratio, model)
+	}
+}

@@ -25,6 +25,14 @@ type ExecResult struct {
 	Stats  buffer.Stats
 	// PhaseIO breaks the physical I/O down by execution phase.
 	PhaseIO []int64
+	// PhaseMem records the effective memory budget each phase ran with —
+	// the sampled memSeq value exactly as the executor consumed it
+	// (truncated to whole pages and floored at the 3-page operator
+	// minimum), one entry per phase, parallel to PhaseIO. Feeding
+	// PhaseMem[i] into plan.CostPhases / optimizer.Result.PhaseECAt
+	// conditions the analytic model on the memory trajectory this
+	// execution actually saw, isolating formula error from law error.
+	PhaseMem []float64
 	// JoinSizes records the *observed* page count of every join's
 	// materialized output, keyed by feedback.SetKey over the leaf tables
 	// the join covers. These are the executed intermediate-result sizes
@@ -76,7 +84,15 @@ func (e *Engine) executePlan(p *plan.Node, memSeq []float64, joinCol string) (Ex
 	if err != nil {
 		return ExecResult{}, err
 	}
-	return ExecResult{Output: rel, Stats: ex.total, PhaseIO: ex.phaseIO, JoinSizes: ex.joinSizes}, nil
+	phaseMem := make([]float64, phases)
+	for i := range phaseMem {
+		m := int(memSeq[i])
+		if m < 3 {
+			m = 3
+		}
+		phaseMem[i] = float64(m)
+	}
+	return ExecResult{Output: rel, Stats: ex.total, PhaseIO: ex.phaseIO, PhaseMem: phaseMem, JoinSizes: ex.joinSizes}, nil
 }
 
 type executor struct {

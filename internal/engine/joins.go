@@ -157,7 +157,15 @@ func (e *Engine) graceHashJoin(pool *buffer.Pool, outer, inner *storage.Relation
 	if small.NumPages()+2 <= pool.Capacity() {
 		return e.inMemHashJoin(pool, outer, inner, oc, ic, result)
 	}
-	fanOut := pool.Capacity() - 1
+	// Partition count: enough that an average build partition fits in
+	// memory, plus one for hash-balance headroom, capped by the write
+	// frames available (capacity - 1 input frame). Using the full frame
+	// budget unconditionally over-splits small build sides into mostly
+	// partial tail pages, inflating the write pass at high fan-out.
+	fanOut := (small.NumPages()+pool.Capacity()-3)/(pool.Capacity()-2) + 1
+	if maxFan := pool.Capacity() - 1; fanOut > maxFan {
+		fanOut = maxFan
+	}
 	if fanOut < 2 {
 		fanOut = 2
 	}
@@ -261,6 +269,15 @@ func (e *Engine) partition(pool *buffer.Pool, rel *storage.Relation, col, fanOut
 	return parts, nil
 }
 
+// hashKey hashes a join key with a per-recursion-level salt. The FNV sum
+// alone is NOT usable here: reduced mod a power-of-two fanout (capacity-1
+// is 4, 8, or 16 at the common memory levels) its low bits respond to the
+// salt byte as a constant rotation, so re-partitioning a bucket at the
+// next level moved every key to the same new bucket — the bucket never
+// split, recursion always hit the level cap, and the block-nested-loop
+// fallback ran at 3-page memory. The murmur3 finalizer avalanches the
+// salt through all 64 bits so each level's bucket assignment is
+// independent of the previous level's.
 func hashKey(k int64, level int) uint64 {
 	h := fnv.New64a()
 	var b [9]byte
@@ -271,7 +288,13 @@ func hashKey(k int64, level int) uint64 {
 	}
 	//leclint:allow errdrop -- hash.Hash.Write never returns an error per its contract
 	_, _ = h.Write(b[:])
-	return h.Sum64()
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
 }
 
 func maxInt(a, b int) int {

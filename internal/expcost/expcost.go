@@ -85,23 +85,28 @@ func sortMergeEC(a, b, mem dist.Dist) float64 {
 	return pivotSweep(a, b, mem)
 }
 
-// graceHashEC: same three-case pass structure but the pivot is the SMALLER
-// relation, so the roles of the halves flip: conditioning on the half
-// {|A| ≤ |B|}, the pivot is |A| and we sweep over Val(|A|) aggregating B.
+// graceHashEC: same sweep structure but the pivot is the SMALLER relation,
+// so the roles of the halves flip: conditioning on the half {|A| ≤ |B|},
+// the pivot is |A| and we sweep over Val(|A|) aggregating B. On top of the
+// 2/4/6 pass bands there is the one-pass band M ≥ s+2 (build side fits in
+// memory). Since s+2 > √s, that band is carved out of the 2-pass mass: the
+// expected multiplier is m(s) − Pr(M ≥ s+2), because the one-pass region
+// pays 1·(|A|+|B|) where the tail cursor charged 2.
 func graceHashEC(a, b, mem dist.Dist) float64 {
 	// In the half |A| ≤ |B| the smaller relation is A: pivot on a.
-	// E[C·1{|B| ≥ a} | A=a] = m(a)·( PE_B(≥a) + a·P_B(≥a) ).
+	// E[C·1{|B| ≥ a} | A=a] = (m(a) − Pr(M ≥ a+2))·( PE_B(≥a) + a·P_B(≥a) ).
 	total := 0.0
 	{
 		cur := newSuffixCursor(b)
 		mq := newTailCursor(mem)
+		fc := newAtLeastCursor(mem)
 		for i := 0; i < a.Len(); i++ {
 			av := a.Value(i)
 			pB, peB := cur.atLeast(av)
 			if pB == 0 {
 				continue
 			}
-			m := mq.multiplier(av)
+			m := mq.multiplier(av) - fc.atLeast(av+2)
 			total += a.Prob(i) * m * (peB + av*pB)
 		}
 	}
@@ -110,13 +115,14 @@ func graceHashEC(a, b, mem dist.Dist) float64 {
 	{
 		cur := newSuffixCursor(a)
 		mq := newTailCursor(mem)
+		fc := newAtLeastCursor(mem)
 		for j := 0; j < b.Len(); j++ {
 			bv := b.Value(j)
 			pA, peA := cur.greater(bv)
 			if pA == 0 {
 				continue
 			}
-			m := mq.multiplier(bv)
+			m := mq.multiplier(bv) - fc.atLeast(bv+2)
 			total += b.Prob(j) * m * (peA + bv*pA)
 		}
 	}

@@ -67,7 +67,8 @@ func E1MotivatingExample() (Table, error) {
 	}
 	t.Notes = append(t.Notes,
 		"paper: LSC (mean or mode) chooses Plan 1; the LEC plan is Plan 2, cheaper in expectation",
-		"costs include the 1.4e6 I/O of scanning both inputs")
+		"costs are the paper's printed numbers: the join formulas already read both inputs,",
+		"and unfiltered heap scans hand the base relation to the join without a separate charge")
 	t.Pass = pass
 	return t, nil
 }

@@ -102,13 +102,19 @@ func (je *jointEval) costUnder(p *plan.Node, sizes map[string]float64, sels map[
 	rec = func(n *plan.Node) nodeCost {
 		switch n.Kind {
 		case plan.KindScan:
-			io := n.IO
-			if io <= 0 {
-				io = cost.ScanIO(n.BasePages())
+			// Only materialized access paths charge here; an unfiltered
+			// heap scan's base read is part of the consuming operator's
+			// formula (mirrors plan.CostPhases / the DP leaf scores).
+			io := 0.0
+			if n.Materialized() {
+				io = n.AccessIO()
 			}
 			return nodeCost{pages: sizes[n.Table], constPart: io}
 		case plan.KindSort:
 			child := rec(n.Child)
+			if n.Child.Kind == plan.KindScan && !n.Child.Materialized() {
+				child.constPart += n.Child.AccessIO()
+			}
 			pages := child.pages
 			child.memParts = append(child.memParts, func(m float64) float64 {
 				return cost.SortIO(pages, m)

@@ -22,7 +22,11 @@ func LSC(cat *catalog.Catalog, blk *query.Block, opts Options, mem float64) (Res
 	if err != nil {
 		return Result{}, err
 	}
-	return c.dpBest(pointScorer{mem})
+	res, err := c.dpBest(pointScorer{mem})
+	if err != nil {
+		return Result{}, err
+	}
+	return withPhaseEC(res, []dist.Dist{dist.Point(mem)})
 }
 
 // AlgorithmC computes the LEC left-deep plan for a static memory law
@@ -32,7 +36,11 @@ func AlgorithmC(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.D
 	if err != nil {
 		return Result{}, err
 	}
-	return c.dpBest(lawScorer{staticLaws(mem, c.n)})
+	res, err := c.dpBest(lawScorer{staticLaws(mem, c.n)})
+	if err != nil {
+		return Result{}, err
+	}
+	return withPhaseEC(res, staticLaws(mem, c.n))
 }
 
 // AlgorithmCDynamic computes the LEC left-deep plan when memory evolves
@@ -47,7 +55,11 @@ func AlgorithmCDynamic(cat *catalog.Catalog, blk *query.Block, opts Options, ini
 	if err != nil {
 		return Result{}, err
 	}
-	return c.dpBest(lawScorer{laws})
+	res, err := c.dpBest(lawScorer{laws})
+	if err != nil {
+		return Result{}, err
+	}
+	return withPhaseEC(res, laws)
 }
 
 // bucketPoints lists the memory values Algorithms A and B probe with an LSC
@@ -119,7 +131,7 @@ func AlgorithmA(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.D
 	if best < 0 {
 		return Result{}, ErrNoPlan
 	}
-	return Result{Plan: cands[best].res.Plan, EC: cands[best].ec, Candidates: len(cands)}, nil
+	return withPhaseEC(Result{Plan: cands[best].res.Plan, EC: cands[best].ec, Candidates: len(cands)}, laws)
 }
 
 // AlgorithmB generalizes Algorithm A by generating the top-c plans per
@@ -191,7 +203,7 @@ func AlgorithmB(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.D
 	if best < 0 {
 		return Result{}, ErrNoPlan
 	}
-	return Result{Plan: cands[best].e.node, EC: cands[best].ec, Candidates: len(cands), Probes: probes}, nil
+	return withPhaseEC(Result{Plan: cands[best].e.node, EC: cands[best].ec, Candidates: len(cands), Probes: probes}, laws)
 }
 
 // dpTopC is the Algorithm B inner pass: System R keeping the top-c entries
@@ -265,7 +277,7 @@ func (c *ctx) dpTopC(s scorer, topC int) ([]entry, int, error) {
 		for _, e := range l.entries {
 			cand := e
 			if c.blk.OrderBy != nil && sl == 0 {
-				cand.score += s.sortScore(e.pages, phase)
+				cand.score += enforcerScore(s, e, phase)
 				cand.node = plan.NewSort(e.node, c.requiredOrder())
 				cand.order = c.requiredOrder()
 			}
@@ -299,7 +311,13 @@ func AlgorithmD(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.D
 	}
 	c.setSelLaws(selLaws)
 	c.setSizeLaws(sizeLaws)
-	return c.dpDist(mem)
+	res, err := c.dpDist(mem)
+	if err != nil {
+		return Result{}, err
+	}
+	// D's PhaseEC is evaluated at the plan's annotated point sizes: the
+	// joint size laws don't decompose per phase, the memory law does.
+	return withPhaseEC(res, staticLaws(mem, c.n))
 }
 
 // distEntry extends entry with the node's size law.
@@ -379,6 +397,9 @@ func (c *ctx) dpDist(mem dist.Dist) (Result, error) {
 		cand := *e
 		if c.blk.OrderBy != nil && sl == 0 {
 			cand.score += expcost.SortEC(e.law, mem)
+			if e.node.Kind == plan.KindScan && !e.node.Materialized() {
+				cand.score += e.node.AccessIO()
+			}
 			cand.node = plan.NewSort(e.node, c.requiredOrder())
 			cand.order = c.requiredOrder()
 		}
@@ -397,16 +418,46 @@ func (c *ctx) dpDist(mem dist.Dist) (Result, error) {
 	return Result{Plan: best.node, EC: best.score, Candidates: 1}, nil
 }
 
+// withPhaseEC annotates a finished result with its per-phase analytic
+// breakdown under the laws the plan was selected with.
+func withPhaseEC(r Result, laws []dist.Dist) (Result, error) {
+	ph, err := ExpectedCostPhases(r.Plan, laws)
+	if err != nil {
+		return Result{}, err
+	}
+	r.PhaseEC = ph
+	return r, nil
+}
+
 // ExpectedCost evaluates EC(P) = Σ_phase E[cost_phase(M_phase)] for an
 // annotated plan under per-phase memory laws (laws[i] is the marginal law
 // of memory in phase i; pass a single-element slice for a static law —
 // it is repeated for later phases). Scan costs are memory-independent.
 func ExpectedCost(p *plan.Node, laws []dist.Dist) (float64, error) {
+	phases, err := ExpectedCostPhases(p, laws)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, c := range phases {
+		total += c
+	}
+	return total, nil
+}
+
+// ExpectedCostPhases breaks EC(P) down by execution phase: element i is
+// E[cost_phase_i(M_i)], with len equal to p.Phases(). Attribution follows
+// plan.CostPhases (and therefore the engine's physical conventions):
+// materialized access paths land in phase 0, unfiltered heap scans are
+// paid by their consumer, joins and sorts in the phase of the subtree
+// they complete. Conditioning the same breakdown on a realized memory
+// trajectory instead of the laws is plan.CostPhases itself.
+func ExpectedCostPhases(p *plan.Node, laws []dist.Dist) ([]float64, error) {
 	if len(laws) == 0 {
-		return 0, ErrLawsShort
+		return nil, ErrLawsShort
 	}
 	if err := p.Validate(); err != nil {
-		return 0, err
+		return nil, err
 	}
 	lawAt := func(phase int) dist.Dist {
 		if phase >= len(laws) {
@@ -414,12 +465,14 @@ func ExpectedCost(p *plan.Node, laws []dist.Dist) (float64, error) {
 		}
 		return laws[phase]
 	}
-	total := 0.0
+	out := make([]float64, p.Phases())
 	var rec func(n *plan.Node) (int, error)
 	rec = func(n *plan.Node) (int, error) {
 		switch n.Kind {
 		case plan.KindScan:
-			total += scanIOOf(n)
+			if n.Materialized() {
+				out[0] += n.AccessIO()
+			}
 			return 1, nil
 		case plan.KindSort:
 			k, err := rec(n.Child)
@@ -430,7 +483,11 @@ func ExpectedCost(p *plan.Node, laws []dist.Dist) (float64, error) {
 			if k >= 2 {
 				phase = k - 2
 			}
-			total += lawAt(phase).ExpectF(func(m float64) float64 {
+			if n.Child.Kind == plan.KindScan && !n.Child.Materialized() {
+				// The sort itself reads the unmaterialized base table.
+				out[phase] += n.Child.AccessIO()
+			}
+			out[phase] += lawAt(phase).ExpectF(func(m float64) float64 {
 				return cost.SortIO(n.Child.OutPages, m)
 			})
 			return k, nil
@@ -444,23 +501,16 @@ func ExpectedCost(p *plan.Node, laws []dist.Dist) (float64, error) {
 				return 0, err
 			}
 			k := kl + kr
-			total += lawAt(k - 2).ExpectF(func(m float64) float64 {
+			out[k-2] += lawAt(k - 2).ExpectF(func(m float64) float64 {
 				return cost.JoinIO(n.Method, n.Left.OutPages, n.Right.OutPages, m)
 			})
 			return k, nil
 		}
 	}
 	if _, err := rec(p); err != nil {
-		return 0, err
+		return nil, err
 	}
-	return total, nil
-}
-
-func scanIOOf(n *plan.Node) float64 {
-	if n.IO > 0 {
-		return n.IO
-	}
-	return cost.ScanIO(n.BasePages())
+	return out, nil
 }
 
 // PhaseLawsFor builds the per-phase laws for an n-relation query: the

@@ -228,14 +228,12 @@ func TestAlgorithmDJointEnumeration(t *testing.T) {
 	}
 
 	// Exact joint EC of a 2-table plan (outer=a with law sizeA, inner=b
-	// fixed 10,000 pages): scans are deterministic (heap scans of base
-	// pages), join cost enumerates (|A|, M).
+	// fixed 10,000 pages): the heap handoff scans are free (the join
+	// formula reads both inputs), join cost enumerates (|A|, M).
 	exact := func(method cost.JoinMethod) float64 {
-		scan := 40_000.0 + 10_000.0
-		join := dist.Expect2(sizeA, mem, func(av, mv float64) float64 {
+		return dist.Expect2(sizeA, mem, func(av, mv float64) float64 {
 			return cost.JoinIO(method, av, 10_000, mv)
 		})
-		return scan + join
 	}
 	best := math.Inf(1)
 	var bestM cost.JoinMethod

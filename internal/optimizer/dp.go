@@ -97,13 +97,32 @@ func (c *ctx) joinOutputOrder(method cost.JoinMethod, j int, leftMask uint64, le
 	}
 }
 
-// leafEntries builds the access-path entries for one table.
+// leafEntries builds the access-path entries for one table. Materialized
+// access paths (index scans, filtered heap scans) score their access
+// cost; an unfiltered heap scan scores 0 — its base read is part of the
+// consuming join's formula (see plan.Node.Materialized).
 func (c *ctx) leafEntries(ti *tableInfo) []entry {
 	out := make([]entry, 0, len(ti.accesses))
 	for _, ac := range ti.accesses {
-		out = append(out, entry{node: ac.node, score: ac.io, pages: ti.pages, order: ac.order})
+		score := ac.io
+		if !ac.node.Materialized() {
+			score = 0
+		}
+		out = append(out, entry{node: ac.node, score: score, pages: ti.pages, order: ac.order})
 	}
 	return out
+}
+
+// enforcerScore is the cost of the root ORDER BY enforcer over an entry:
+// the sort itself, plus the base read when the sort consumes an
+// unmaterialized heap scan directly (single-table plans — no join ever
+// paid for it).
+func enforcerScore(s scorer, e entry, phase int) float64 {
+	sc := s.sortScore(e.pages, phase)
+	if e.node.Kind == plan.KindScan && !e.node.Materialized() {
+		sc += e.node.AccessIO()
+	}
+	return sc
 }
 
 // dpBest is the System R bottom-up dynamic program, keeping the best entry
@@ -175,7 +194,7 @@ func (c *ctx) finishRoot(slots [2]*entry, s scorer) (Result, error) {
 		}
 		cand := *e
 		if c.blk.OrderBy != nil && slot == 0 {
-			cand.score += s.sortScore(e.pages, phase)
+			cand.score += enforcerScore(s, *e, phase)
 			cand.node = plan.NewSort(e.node, c.requiredOrder())
 			cand.order = c.requiredOrder()
 		}

@@ -21,9 +21,13 @@ func ExhaustiveLEC(cat *catalog.Catalog, blk *query.Block, opts Options, laws []
 	if err != nil {
 		return Result{}, err
 	}
-	return c.exhaustive(func(p *plan.Node) (float64, error) {
+	res, err := c.exhaustive(func(p *plan.Node) (float64, error) {
 		return ExpectedCost(p, laws)
 	})
+	if err != nil {
+		return Result{}, err
+	}
+	return withPhaseEC(res, laws)
 }
 
 // ExhaustiveLSC is the point-cost oracle for Theorem 2.1: the true best
@@ -34,9 +38,13 @@ func ExhaustiveLSC(cat *catalog.Catalog, blk *query.Block, opts Options, mem flo
 	if err != nil {
 		return Result{}, err
 	}
-	return c.exhaustive(func(p *plan.Node) (float64, error) {
+	res, err := c.exhaustive(func(p *plan.Node) (float64, error) {
 		return p.CostAt(mem), nil
 	})
+	if err != nil {
+		return Result{}, err
+	}
+	return withPhaseEC(res, []dist.Dist{dist.Point(mem)})
 }
 
 // exhaustive enumerates all left-deep plans and keeps the minimum under

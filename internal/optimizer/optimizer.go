@@ -104,12 +104,37 @@ type Result struct {
 	// EC is the score under which the plan was selected: the point cost
 	// for LSC, the expected cost for the LEC algorithms.
 	EC float64
+	// PhaseEC breaks the plan's score down by execution phase under the
+	// memory laws the algorithm optimized with (ExpectedCostPhases):
+	// element i is the analytic charge attributed to phase i, len equal
+	// to Plan.Phases(). For the memory-only algorithms (LSC, A, B, C,
+	// C-dynamic) the slice sums to EC; for Algorithm D it is evaluated at
+	// the plan's annotated point sizes, so the sum approximates the
+	// joint-law EC.
+	PhaseEC []float64
 	// Candidates is the number of complete plans the algorithm compared
 	// at the final selection step (1 for pure DP algorithms).
 	Candidates int
 	// Probes counts candidate-pair combinations examined by the
 	// Proposition 3.1 frontier (Algorithm B only).
 	Probes int
+}
+
+// PhaseECAt returns the plan's analytic charge for one phase conditioned
+// on a realized memory value — the cost the model would have predicted
+// for that phase had it known the memory the executor actually saw
+// there. Comparing it against engine.ExecResult.PhaseIO[phase] isolates
+// formula error from memory-law error. Returns NaN for an out-of-range
+// phase or an invalid plan.
+func (r Result) PhaseECAt(phase int, mem float64) float64 {
+	if r.Plan == nil {
+		return math.NaN()
+	}
+	ph, err := r.Plan.CostPhases(plan.ConstMem(mem))
+	if err != nil || phase < 0 || phase >= len(ph) {
+		return math.NaN()
+	}
+	return ph[phase]
 }
 
 // EdgeKey canonically names a join edge for selectivity-law maps:

@@ -139,8 +139,14 @@ func refinementCuts(c *ctx, mem dist.Dist) []float64 {
 		}
 		return false
 	}
-	// Group 1: NL cliffs, biggest smaller-side first.
-	if has(cost.PageNL) {
+	// Group 1: small+2 cliffs, biggest smaller-side first. Page
+	// nested-loop's inner stops being resident below this cut, and grace
+	// hash's one-pass regime (in-memory build, cost A+B) ends there too —
+	// cost.JoinBreakpoints lists small+2 for both methods. Either way the
+	// cost jumps discontinuously by a factor of the input size, so
+	// misclassifying law mass across this cut is the costliest bucketing
+	// error and it refines first.
+	if has(cost.PageNL) || has(cost.GraceHash) {
 		sort.Slice(pairs, func(i, j int) bool { return pairs[i].small > pairs[j].small })
 		for _, p := range pairs {
 			add(p.small + 2)

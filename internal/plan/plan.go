@@ -334,19 +334,43 @@ func (s SliceMem) MemAt(phase int) (float64, error) {
 }
 
 // CostSeq returns C(P, v) where v is a per-phase memory sequence
-// (Section 3.5). Scan costs are charged in the phase of the join that
-// consumes them (phase 0 for a plan's first join, or phase 0 for a bare
-// scan); a sort enforcer is charged in the phase of the node beneath it.
+// (Section 3.5): the sum of the CostPhases breakdown.
 func (n *Node) CostSeq(mem MemSeq) (float64, error) {
-	if err := n.Validate(); err != nil {
+	phases, err := n.CostPhases(mem)
+	if err != nil {
 		return 0, err
 	}
 	total := 0.0
+	for _, c := range phases {
+		total += c
+	}
+	return total, nil
+}
+
+// CostPhases returns the per-phase breakdown of C(P, v): element i is the
+// I/O the model attributes to execution phase i, with len equal to
+// Phases(). Attribution mirrors the engine's physical conventions so the
+// slice is comparable entry-by-entry against ExecResult.PhaseIO:
+//
+//   - a join over k relations is charged in phase k-2, a sort enforcer in
+//     the phase of the subtree it completes;
+//   - materialized access paths (index scans, filtered heap scans) are
+//     charged in phase 0, where the engine books them;
+//   - an unfiltered heap scan is free — the consuming join's formula
+//     already counts reading both inputs — except when a sort consumes it
+//     directly, in which case the sort pays the base read in its phase.
+func (n *Node) CostPhases(mem MemSeq) ([]float64, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n.Phases())
 	var rec func(m *Node) (relCount int, err error)
 	rec = func(m *Node) (int, error) {
 		switch m.Kind {
 		case KindScan:
-			total += m.scanIO()
+			if m.Materialized() {
+				out[0] += m.AccessIO()
+			}
 			return 1, nil
 		case KindSort:
 			k, err := rec(m.Child)
@@ -361,7 +385,11 @@ func (n *Node) CostSeq(mem MemSeq) (float64, error) {
 			if err != nil {
 				return 0, err
 			}
-			total += cost.SortIO(m.Child.OutPages, mv)
+			if m.Child.Kind == KindScan && !m.Child.Materialized() {
+				// The sort itself reads the unmaterialized base table.
+				out[phase] += m.Child.AccessIO()
+			}
+			out[phase] += cost.SortIO(m.Child.OutPages, mv)
 			return k, nil
 		case KindJoin:
 			kl, err := rec(m.Left)
@@ -377,22 +405,31 @@ func (n *Node) CostSeq(mem MemSeq) (float64, error) {
 			if err != nil {
 				return 0, err
 			}
-			total += cost.JoinIO(m.Method, m.Left.OutPages, m.Right.OutPages, mv)
+			out[phaseOf(k)] += cost.JoinIO(m.Method, m.Left.OutPages, m.Right.OutPages, mv)
 			return k, nil
 		default:
 			return 0, fmt.Errorf("%w: kind %d", ErrShape, m.Kind)
 		}
 	}
 	if _, err := rec(n); err != nil {
-		return 0, err
+		return nil, err
 	}
-	return total, nil
+	return out, nil
 }
 
-// scanIO returns the access cost recorded on a scan leaf. Index scans
+// Materialized reports whether a scan produces a new temporary relation
+// the engine pays to build — an index scan or a filtered heap scan. An
+// unfiltered heap scan is handed to its consumer as-is: the consuming
+// operator's own formula pays the base read, so charging the scan too
+// would double-count it.
+func (n *Node) Materialized() bool {
+	return n.Kind == KindScan && (n.Access == AccessIndex || n.Pred != nil)
+}
+
+// AccessIO returns the access cost recorded on a scan leaf. Index scans
 // store their full cost in IO at construction time by the optimizer; heap
 // scans cost their base pages. A scan with explicit IO annotation uses it.
-func (n *Node) scanIO() float64 {
+func (n *Node) AccessIO() float64 {
 	if n.IO > 0 {
 		return n.IO
 	}

@@ -2,6 +2,7 @@ package serving
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"lecopt/internal/cost"
@@ -234,4 +235,111 @@ func TestEngineModelAgreementFeedback(t *testing.T) {
 		t.Fatalf("index band out of bounds: %.3f / %.3f (limit %v)",
 			before.BandIX, after.BandIX, float64(modelAgreementBandIX))
 	}
+}
+
+// Conditional per-phase agreement bands: realized PhaseIO[i] over the
+// analytic charge CostPhases(PhaseMem)[i] — the model conditioned on the
+// memory the executor actually saw, phase by phase. Conditioning removes
+// the law/trajectory error that the unconditional bands absorb, so these
+// are strictly tighter than the 4x whole-plan bands above (measured over
+// the 120-trial corpus in TestEngineModelConditionalAgreement):
+//
+//   - nested-loop phases: 2.0 (observed [0.90, 1.11]) — with exact
+//     statistics and realized memory, PageNL's two cases are nearly
+//     exact; what remains is partial-page and pin noise.
+//   - sort-merge phases: 2.5 (observed [0.98, 2.17]) — the engine pays
+//     run writes plus a merge read (~3 passes) where the paper's
+//     simplified structure charges 2, and partial run pages ride on top.
+//   - grace-hash phases: 3.25 (observed [0.50, 2.81]) — recursive
+//     partitioning pays 2L+1 passes against the model's 2L, and partition
+//     tail pages fragment at high fan-out; the sub-1 edge is the in-mem
+//     hash join beating the model's partition floor.
+const (
+	condBandNL = 2.0
+	condBandSM = 2.5
+	condBandGH = 3.25
+)
+
+// TestEngineModelConditionalAgreement is the phase-ledger property test:
+// for every phase of every corpus plan, the engine's realized phase I/O
+// stays within the documented per-operator band of the analytic charge at
+// the phase's realized memory — and phases the model prices at zero
+// realize exactly zero I/O (the attribution conventions match end to
+// end). This is the per-cell guarantee that makes ledger deltas
+// attributable to formula error rather than bookkeeping drift.
+func TestEngineModelConditionalAgreement(t *testing.T) {
+	spec, err := DefaultMixSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Queries = 10
+	spec.OrderByProb = 0.5
+	rng := rand.New(rand.NewSource(42))
+	m, err := NewMix(spec, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	methodSets := [][]cost.JoinMethod{
+		nil,
+		{cost.SortMerge},
+		{cost.GraceHash},
+		{cost.SortMerge, cost.GraceHash},
+		{cost.PageNL, cost.BlockNL},
+	}
+	levels := []float64{4, 6, 9, 14, 20, 40, 80}
+	checked := 0
+	for trial := 0; trial < 120; trial++ {
+		q := m.Queries[trial%len(m.Queries)]
+		opts := optimizer.Options{Methods: methodSets[trial%len(methodSets)]}
+		optMem := levels[rng.Intn(len(levels))]
+		res, err := optimizer.LSC(q.Cat, q.Block, opts, optMem)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		memSeq := make([]float64, q.Phases)
+		for i := range memSeq {
+			memSeq[i] = levels[rng.Intn(len(levels))]
+		}
+		exec, err := q.Eng.ExecutePlan(res.Plan, memSeq)
+		if err != nil {
+			t.Fatalf("trial %d: execute: %v\nplan:\n%s", trial, err, res.Plan)
+		}
+		q.Store.Drop(exec.Output.Name)
+		condEC, err := res.Plan.CostPhases(plan.SliceMem(exec.PhaseMem))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(condEC) != len(exec.PhaseIO) || len(exec.PhaseMem) != len(exec.PhaseIO) {
+			t.Fatalf("trial %d: phase-count contract broken: %d analytic, %d realized, %d mem entries",
+				trial, len(condEC), len(exec.PhaseIO), len(exec.PhaseMem))
+		}
+		labels := phaseOperatorLabels(res.Plan)
+		for i := range condEC {
+			realized, analytic := float64(exec.PhaseIO[i]), condEC[i]
+			if analytic == 0 {
+				if realized != 0 {
+					t.Errorf("trial %d phase %d (%s): model charges 0, engine paid %v\nplan:\n%s",
+						trial, i, labels[i], realized, res.Plan)
+				}
+				continue
+			}
+			band := condBandSM
+			switch {
+			case strings.Contains(labels[i], "page-nl") || strings.Contains(labels[i], "block-nl"):
+				band = condBandNL
+			case strings.Contains(labels[i], "grace-hash"):
+				band = condBandGH
+			}
+			ratio := realized / analytic
+			checked++
+			if ratio > band || ratio < 1/band {
+				t.Errorf("trial %d phase %d (%s, mem %.0f): realized/analytic %.3f outside [%.3f, %.2f]\nplan:\n%s",
+					trial, i, labels[i], exec.PhaseMem[i], ratio, 1/band, band, res.Plan)
+			}
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("corpus too thin: %d priced phases checked", checked)
+	}
+	t.Logf("%d priced phases checked against conditional per-operator bands", checked)
 }

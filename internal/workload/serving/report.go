@@ -71,6 +71,19 @@ type Report struct {
 	PerQuery  []QueryStats  `json:"per_query"`
 	PerTenant []TenantStats `json:"per_tenant"`
 
+	// RankAgreement reports whether, for every tenant, the analytic
+	// ranking of the two policies (sum of chosen-plan expected costs)
+	// agrees in sign with their realized-I/O ranking. A false value is a
+	// rank inversion: the model systematically mispredicts which policy
+	// wins somewhere, even if the global ratio looks healthy.
+	RankAgreement bool `json:"rank_agreement"`
+
+	// PhaseLedger is the per-(tenant, policy, phase, operator,
+	// memory-band) cost-attribution audit: analytic charges conditioned
+	// on the realized memory trajectory joined with the engine's booked
+	// phase I/O. See ledger.go.
+	PhaseLedger []LedgerCell `json:"phase_ledger"`
+
 	// PlanDump lists every distinct physical plan either policy executed,
 	// with how many requests ran it — the artifact-level evidence of
 	// *which* operators (heap scans, index scans, join methods, sorts)
@@ -109,6 +122,39 @@ type TenantStats struct {
 	Wins     int     `json:"lec_wins"`
 	Ties     int     `json:"ties"`
 	Losses   int     `json:"lec_losses"`
+	// PredictedRatio is the tenant's analytic LEC/LSC expected-cost
+	// ratio over its requests — the model's promised ordering.
+	PredictedRatio float64 `json:"predicted_ratio"`
+	// RankAgreement is true unless the analytic ranking and the realized
+	// ranking strictly disagree (the model says one policy wins while
+	// the engine measures the other winning). Ties on either side agree
+	// with everything.
+	RankAgreement bool `json:"rank_agreement"`
+
+	predLSC, predLEC float64
+}
+
+// rankAgrees compares an analytic cost difference against a realized I/O
+// difference: only strictly opposite signs disagree. The analytic side
+// uses a relative tolerance so float noise around equal plans reads as a
+// tie.
+func rankAgrees(predDelta, scale float64, ioDelta int64) bool {
+	tol := 1e-9 * scale
+	modelSign := 0
+	switch {
+	case predDelta < -tol:
+		modelSign = -1
+	case predDelta > tol:
+		modelSign = 1
+	}
+	ioSign := 0
+	switch {
+	case ioDelta < 0:
+		ioSign = -1
+	case ioDelta > 0:
+		ioSign = 1
+	}
+	return modelSign == 0 || ioSign == 0 || modelSign == ioSign
 }
 
 // aggregator folds per-request outcomes into a Report.
@@ -126,6 +172,7 @@ type aggregator struct {
 	perQuery  []QueryStats
 	perTenant []TenantStats
 	plans     map[planKey]*PlanCount
+	ledger    *ledger
 }
 
 // planKey identifies one distinct executed plan per query and policy.
@@ -136,7 +183,7 @@ type planKey struct {
 }
 
 func newAggregator(m *Mix, cfg RunConfig) *aggregator {
-	a := &aggregator{mix: m, cfg: cfg, plans: make(map[planKey]*PlanCount)}
+	a := &aggregator{mix: m, cfg: cfg, plans: make(map[planKey]*PlanCount), ledger: newLedger()}
 	a.perQuery = make([]QueryStats, len(m.Queries))
 	for i, q := range m.Queries {
 		a.perQuery[i] = QueryStats{ID: q.ID, Tables: len(q.Block.Tables)}
@@ -190,6 +237,10 @@ func (a *aggregator) observe(req request, pair planPair, lsc, lec execOutcome) {
 	t.Wins += win
 	t.Ties += tie
 	t.Losses += 1 - win - tie
+	t.predLSC += pair.lscEC
+	t.predLEC += pair.lecEC
+	a.ledger.observe(t.Name, "lsc", pair.lsc, lsc)
+	a.ledger.observe(t.Name, "lec", pair.lec, lec)
 }
 
 // countPlan tallies one executed (query, policy, plan) combination.
@@ -237,11 +288,21 @@ func (a *aggregator) report() *Report {
 	for i := range a.perQuery {
 		a.perQuery[i].Ratio = ratioOf(a.perQuery[i].LECIO, a.perQuery[i].LSCIO)
 	}
+	rep.RankAgreement = true
 	for i := range a.perTenant {
-		a.perTenant[i].Ratio = ratioOf(a.perTenant[i].LECIO, a.perTenant[i].LSCIO)
+		t := &a.perTenant[i]
+		t.Ratio = ratioOf(t.LECIO, t.LSCIO)
+		if t.predLSC > 0 {
+			t.PredictedRatio = t.predLEC / t.predLSC
+		}
+		t.RankAgreement = rankAgrees(t.predLEC-t.predLSC, t.predLSC+t.predLEC, t.LECIO-t.LSCIO)
+		if !t.RankAgreement {
+			rep.RankAgreement = false
+		}
 	}
 	rep.PerQuery = a.perQuery
 	rep.PerTenant = a.perTenant
+	rep.PhaseLedger = a.ledger.report()
 	for _, pc := range a.plans {
 		rep.PlanDump = append(rep.PlanDump, *pc)
 	}

@@ -84,7 +84,9 @@ type planPair struct {
 // execOutcome is one memoized plan execution.
 type execOutcome struct {
 	io        int64
-	phaseIO   []int64
+	phaseIO   []int64            // engine I/O booked per phase
+	phaseMem  []float64          // effective memory each phase ran with
+	condEC    []float64          // model's per-phase charge conditioned on phaseMem
 	joinSizes map[string]float64 // observed intermediate pages by table set
 }
 
@@ -258,14 +260,25 @@ func (m *Mix) catalogAt(memo map[driftCatKey]*catalog.Catalog, q int, factor flo
 
 // executeOnce runs one plan on the query's engine under the trajectory and
 // returns its realized I/O. The output relation is dropped so repeated
-// executions do not accumulate state.
+// executions do not accumulate state. Alongside the engine's measured
+// per-phase I/O it records the model's conditional per-phase charge at
+// the memory the executor actually consumed (plan.CostPhases over
+// ExecResult.PhaseMem) — the analytic half of the phase ledger.
 func executeOnce(q *ServingQuery, p *plan.Node, memSeq []float64) (execOutcome, error) {
 	res, err := q.Eng.ExecutePlan(p, memSeq)
 	if err != nil {
 		return execOutcome{}, err
 	}
 	q.Store.Drop(res.Output.Name)
-	return execOutcome{io: res.Stats.IO(), phaseIO: res.PhaseIO, joinSizes: res.JoinSizes}, nil
+	condEC, err := p.CostPhases(plan.SliceMem(res.PhaseMem))
+	if err != nil {
+		return execOutcome{}, err
+	}
+	return execOutcome{
+		io: res.Stats.IO(), phaseIO: res.PhaseIO,
+		phaseMem: res.PhaseMem, condEC: condEC,
+		joinSizes: res.JoinSizes,
+	}, nil
 }
 
 // percentile returns the q-quantile of an unsorted sample via envsim's
