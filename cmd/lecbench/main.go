@@ -42,13 +42,12 @@ func main() {
 		seed      = flag.Int64("seed", 1, "throughput/workload mode: workload seed")
 		alg       = flag.String("alg", "algorithm-c", "throughput mode: optimization algorithm")
 
-		workloadM  = flag.Bool("workload", false, "workload mode: engine-in-the-loop LSC-vs-LEC serving simulation")
-		queries    = flag.Int("queries", 0, "workload mode: distinct queries in the mix (0 = spec default)")
-		zipf       = flag.Float64("zipf", 0, "workload mode: popularity skew (0 = spec default)")
-		driftBand  = flag.Float64("driftband", 0, "workload mode: plan-cache drift band base (0 = service default, <=1 = exact keys)")
-		noBands    = flag.Bool("nobands", false, "workload mode: skip the model-agreement feedback band sweeps")
-		noIndex    = flag.Bool("noindex", false, "workload mode: heap-only mix (no physical indexes, no index plans) — reproduces the pre-access-path artifact")
-		noRankGate = flag.Bool("norankgate", false, "workload mode: report per-tenant rank inversions without failing the run")
+		workloadM = flag.Bool("workload", false, "workload mode: engine-in-the-loop LSC-vs-LEC serving simulation")
+		queries   = flag.Int("queries", 0, "workload mode: distinct queries in the mix (0 = spec default)")
+		zipf      = flag.Float64("zipf", 0, "workload mode: popularity skew (0 = spec default)")
+		driftBand = flag.Float64("driftband", 0, "workload mode: plan-cache drift band base (0 = service default, <=1 = exact keys)")
+		noBands   = flag.Bool("nobands", false, "workload mode: skip the model-agreement feedback band sweeps")
+		noIndex   = flag.Bool("noindex", false, "workload mode: heap-only mix (no physical indexes, no index plans) — reproduces the pre-access-path artifact")
 
 		emitJSON = flag.Bool("json", true, "write the mode's JSON artifact")
 		outPath  = flag.String("out", "", "artifact path (default BENCH_batch.json / BENCH_workload.json by mode)")
@@ -77,7 +76,6 @@ func main() {
 			Requests: *requests, Queries: *queries, Zipf: *zipf,
 			Seed: *seed, Workers: *workers, CacheSize: *cacheSize,
 			DriftBand: *driftBand, NoBands: *noBands, NoIndex: *noIndex,
-			NoRankGate: *noRankGate,
 		}
 		if _, err := runWorkloadMode(cfg, artifact("BENCH_workload.json"), os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "lecbench:", err)

@@ -21,12 +21,6 @@ type workloadModeConfig struct {
 	DriftBand float64 // 0: service default (banded); <= 1: exact keys
 	NoBands   bool    // skip the model-agreement band sweeps
 	NoIndex   bool    // heap-only mix: no physical indexes, no index plans
-	// NoRankGate downgrades a per-tenant rank inversion from an error to
-	// the printed RANK-INVERSION marker. The heap-only smoke runs with it:
-	// that mix has a known residual (shared-volatile's multi-pass grace
-	// hash under drift, localized by the phase ledger and tracked in
-	// ROADMAP.md), while the default index-enabled mix gates hard.
-	NoRankGate bool
 }
 
 // workloadArtifact is the BENCH_workload.json payload: the serving report
@@ -144,11 +138,15 @@ func runWorkloadMode(cfg workloadModeConfig, jsonPath string, w io.Writer) (*lec
 		}
 		fmt.Fprintf(w, "  wrote %s\n", jsonPath)
 	}
-	// The rank-agreement claim gates CI: an inversion means the model ranked
+	// The rank-agreement claim gates CI unconditionally — for the default
+	// mix and the heap-only mix alike. An inversion means the model ranked
 	// the two policies opposite to the engine's realized I/O for some tenant
 	// — exactly the regression the phase ledger exists to localize. The
 	// artifact is written first so the failing run leaves its ledger behind.
-	if !rep.RankAgreement && !cfg.NoRankGate {
+	// (The historical -norankgate waiver covered shared-volatile's heap-only
+	// inversion under the paper model; charging serving with the
+	// engine-exact pass model closed it, so the waiver is retired.)
+	if !rep.RankAgreement {
 		for _, ts := range rep.PerTenant {
 			if !ts.RankAgreement {
 				return rep, fmt.Errorf("workload: tenant %s rank inversion: predicted ratio %.4f, realized %.4f",

@@ -191,7 +191,8 @@ func (s *Scenario) Compare(algs ...Algorithm) ([]PlanReport, error) {
 }
 
 // ExpectedCost evaluates any plan under the scenario's per-phase memory
-// laws — the uniform yardstick used to compare algorithms' plans.
+// laws and its Opts.CostModel — the uniform yardstick used to compare
+// algorithms' plans.
 func (s *Scenario) ExpectedCost(p *plan.Node) (float64, error) {
 	if err := s.check(); err != nil {
 		return 0, err
@@ -200,7 +201,7 @@ func (s *Scenario) ExpectedCost(p *plan.Node) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return optimizer.ExpectedCost(p, laws)
+	return optimizer.ExpectedCostModel(s.Opts.CostModel, p, laws)
 }
 
 // Simulate Monte-Carlo-executes a plan's cost model under the environment.

@@ -701,7 +701,7 @@ func (p *Prepared) SelectDrifted(mem dist.Dist, factor float64) (Response, error
 	// breakdown here: the selected plan charged under the static memory
 	// law at every phase, matching what AlgorithmC would report.
 	if laws, lerr := optimizer.PhaseLawsFor(len(p.block.Tables), mem, nil); lerr == nil {
-		if ph, perr := optimizer.ExpectedCostPhases(pl, laws); perr == nil {
+		if ph, perr := optimizer.ExpectedCostPhasesModel(s.plans.Model(), pl, laws); perr == nil {
 			rep.PhaseEC = ph
 		}
 	}

@@ -48,42 +48,65 @@ type JoinSpec struct {
 	InnerCol string
 }
 
+// JoinDetail reports execution-shape facts about one join beyond its I/O
+// totals: how deep a grace-hash recursion went, and whether it hit the
+// level cap and degenerated to block nested loop (with the I/O those
+// fallbacks charged). Zero for every non-grace method.
+type JoinDetail struct {
+	// GraceLevels is the deepest partitioning level a grace-hash
+	// recursion performed (0: the first call joined in memory).
+	GraceLevels int
+	// GraceFallbacks counts level-cap block-nested-loop fallbacks — a
+	// degenerate key distribution, not a costing error.
+	GraceFallbacks int
+	// GraceFallbackIO is the physical I/O charged inside those fallbacks.
+	GraceFallbackIO int64
+}
+
 // Join executes the spec with a fresh pool of mem pages, returning the
 // materialized result and the physical I/O incurred. The result relation
 // has the outer's columns followed by the inner's.
 func (e *Engine) Join(spec JoinSpec, mem int) (*storage.Relation, buffer.Stats, error) {
+	rel, st, _, err := e.JoinDetailed(spec, mem)
+	return rel, st, err
+}
+
+// JoinDetailed is Join plus the execution-shape detail (grace-hash
+// recursion depth and level-cap fallbacks).
+func (e *Engine) JoinDetailed(spec JoinSpec, mem int) (*storage.Relation, buffer.Stats, JoinDetail, error) {
+	var det JoinDetail
 	if mem < 3 {
-		return nil, buffer.Stats{}, fmt.Errorf("%w: %d pages", ErrBadMemory, mem)
+		return nil, buffer.Stats{}, det, fmt.Errorf("%w: %d pages", ErrBadMemory, mem)
 	}
 	outer, err := e.store.Get(spec.Outer)
 	if err != nil {
-		return nil, buffer.Stats{}, err
+		return nil, buffer.Stats{}, det, err
 	}
 	inner, err := e.store.Get(spec.Inner)
 	if err != nil {
-		return nil, buffer.Stats{}, err
+		return nil, buffer.Stats{}, det, err
 	}
 	oc, err := outer.ColIndex(spec.OuterCol)
 	if err != nil {
-		return nil, buffer.Stats{}, err
+		return nil, buffer.Stats{}, det, err
 	}
 	ic, err := inner.ColIndex(spec.InnerCol)
 	if err != nil {
-		return nil, buffer.Stats{}, err
+		return nil, buffer.Stats{}, det, err
 	}
 	pool, err := buffer.NewPool(e.store, mem)
 	if err != nil {
-		return nil, buffer.Stats{}, err
+		return nil, buffer.Stats{}, det, err
 	}
 	result, err := e.newResultRel(outer, inner)
 	if err != nil {
-		return nil, buffer.Stats{}, err
+		return nil, buffer.Stats{}, det, err
 	}
 	switch spec.Method {
 	case cost.SortMerge:
 		err = e.sortMergeJoin(pool, outer, inner, oc, ic, result)
 	case cost.GraceHash:
-		err = e.graceHashJoin(pool, outer, inner, oc, ic, result, 0)
+		err = e.graceHashJoin(pool, outer, inner, oc, ic, result, 0, &det)
 	case cost.PageNL:
 		err = e.pageNLJoin(pool, outer, inner, oc, ic, result)
 	case cost.BlockNL:
@@ -92,9 +115,9 @@ func (e *Engine) Join(spec JoinSpec, mem int) (*storage.Relation, buffer.Stats, 
 		err = fmt.Errorf("%w: method %v", ErrBadSpec, spec.Method)
 	}
 	if err != nil {
-		return nil, pool.Stats(), err
+		return nil, pool.Stats(), det, err
 	}
-	return result, pool.Stats(), nil
+	return result, pool.Stats(), det, nil
 }
 
 // newResultRel creates the output temp relation (outer cols ++ inner cols,

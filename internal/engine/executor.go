@@ -39,6 +39,17 @@ type ExecResult struct {
 	// that size-estimation feedback (optimizer.Options.SizeHints, via a
 	// feedback.Store) folds into subsequent costing.
 	JoinSizes map[string]float64
+	// GraceFallbacks counts grace-hash recursions that hit the level cap
+	// and degenerated to block nested loop, across all joins of the plan;
+	// GraceFallbackIO is the physical I/O those fallbacks charged. A
+	// nonzero count means the engine ran a machine neither cost model
+	// describes — "engine degenerated", not "model wrong".
+	GraceFallbacks  int
+	GraceFallbackIO int64
+	// GraceLevels is the deepest grace-hash partitioning recursion any
+	// join of the plan performed (0: every grace build side fit in
+	// memory, or no grace join ran).
+	GraceLevels int
 }
 
 // ExecutePlan runs a left-deep plan against the store, one join per phase
@@ -92,7 +103,12 @@ func (e *Engine) executePlan(p *plan.Node, memSeq []float64, joinCol string) (Ex
 		}
 		phaseMem[i] = float64(m)
 	}
-	return ExecResult{Output: rel, Stats: ex.total, PhaseIO: ex.phaseIO, PhaseMem: phaseMem, JoinSizes: ex.joinSizes}, nil
+	return ExecResult{
+		Output: rel, Stats: ex.total, PhaseIO: ex.phaseIO, PhaseMem: phaseMem,
+		JoinSizes:      ex.joinSizes,
+		GraceFallbacks: ex.detail.GraceFallbacks, GraceFallbackIO: ex.detail.GraceFallbackIO,
+		GraceLevels: ex.detail.GraceLevels,
+	}, nil
 }
 
 type executor struct {
@@ -103,6 +119,7 @@ type executor struct {
 	phaseIO   []int64
 	joinSizes map[string]float64
 	temps     []string
+	detail    JoinDetail
 }
 
 // run evaluates a subtree and returns its materialized relation. The leaf
@@ -273,15 +290,22 @@ func (ex *executor) colFor(rel *storage.Relation) string {
 }
 
 // joinRels dispatches a join between two materialized relations on the
-// configured key column.
+// configured key column, folding the join's execution-shape detail into
+// the plan-level counters.
 func (ex *executor) joinRels(method cost.JoinMethod, outer, inner *storage.Relation, mem int) (*storage.Relation, buffer.Stats, error) {
-	return ex.eng.Join(JoinSpec{
+	out, st, det, err := ex.eng.JoinDetailed(JoinSpec{
 		Method:   method,
 		Outer:    outer.Name,
 		Inner:    inner.Name,
 		OuterCol: ex.colFor(outer),
 		InnerCol: ex.colFor(inner),
 	}, mem)
+	ex.detail.GraceFallbacks += det.GraceFallbacks
+	ex.detail.GraceFallbackIO += det.GraceFallbackIO
+	if det.GraceLevels > ex.detail.GraceLevels {
+		ex.detail.GraceLevels = det.GraceLevels
+	}
+	return out, st, err
 }
 
 // materializeSorted copies a relation sorted in memory (uncharged: the

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 
 	"lecopt/internal/buffer"
+	"lecopt/internal/cost"
 	"lecopt/internal/storage"
 )
 
@@ -142,11 +143,19 @@ func (g *groupCursor) nextGroup() (int64, []storage.Tuple, error) {
 // pairs: a pair whose smaller side fits in memory is joined by building an
 // in-memory hash table (both sides read once); otherwise it recurses with
 // another partitioning level, which is what produces the extra passes
-// below the √S memory threshold.
-func (e *Engine) graceHashJoin(pool *buffer.Pool, outer, inner *storage.Relation, oc, ic int, result *storage.Relation, level int) error {
+// below the √S memory threshold. det (never nil) accumulates the
+// recursion shape — deepest partitioning level and any level-cap
+// fallbacks with their I/O — so callers can tell "model wrong" from
+// "engine degenerated".
+func (e *Engine) graceHashJoin(pool *buffer.Pool, outer, inner *storage.Relation, oc, ic int, result *storage.Relation, level int, det *JoinDetail) error {
 	if level > 8 {
-		// Degenerate key distribution: finish with block nested loop.
-		return e.blockNLJoin(pool, outer, inner, oc, ic, result)
+		// Degenerate key distribution: finish with block nested loop,
+		// booking the occurrence and its I/O for the phase ledger.
+		before := pool.Stats().IO()
+		err := e.blockNLJoin(pool, outer, inner, oc, ic, result)
+		det.GraceFallbacks++
+		det.GraceFallbackIO += pool.Stats().IO() - before
+		return err
 	}
 	small := inner
 	if outer.NumPages() < inner.NumPages() {
@@ -157,17 +166,12 @@ func (e *Engine) graceHashJoin(pool *buffer.Pool, outer, inner *storage.Relation
 	if small.NumPages()+2 <= pool.Capacity() {
 		return e.inMemHashJoin(pool, outer, inner, oc, ic, result)
 	}
-	// Partition count: enough that an average build partition fits in
-	// memory, plus one for hash-balance headroom, capped by the write
-	// frames available (capacity - 1 input frame). Using the full frame
-	// budget unconditionally over-splits small build sides into mostly
-	// partial tail pages, inflating the write pass at high fan-out.
-	fanOut := (small.NumPages()+pool.Capacity()-3)/(pool.Capacity()-2) + 1
-	if maxFan := pool.Capacity() - 1; fanOut > maxFan {
-		fanOut = maxFan
-	}
-	if fanOut < 2 {
-		fanOut = 2
+	// Partition count comes from the cost model's shared GraceFanOut —
+	// the same function ModelEngine charges with, so the realized fan-out
+	// and the charged fan-out cannot silently diverge.
+	fanOut := cost.GraceFanOut(small.NumPages(), pool.Capacity())
+	if level+1 > det.GraceLevels {
+		det.GraceLevels = level + 1
 	}
 	oParts, err := e.partition(pool, outer, oc, fanOut, level)
 	if err != nil {
@@ -187,7 +191,7 @@ func (e *Engine) graceHashJoin(pool *buffer.Pool, outer, inner *storage.Relation
 		if oParts[i].NumPages() == 0 || iParts[i].NumPages() == 0 {
 			continue
 		}
-		if err := e.graceHashJoin(pool, oParts[i], iParts[i], oc, ic, result, level+1); err != nil {
+		if err := e.graceHashJoin(pool, oParts[i], iParts[i], oc, ic, result, level+1, det); err != nil {
 			return err
 		}
 	}

@@ -82,6 +82,7 @@ func Analyzers() []*Analyzer {
 		OptGuardAnalyzer,
 		FingerprintPurityAnalyzer,
 		ErrDropAnalyzer,
+		PaperModelAnalyzer,
 	}
 }
 

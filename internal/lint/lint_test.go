@@ -52,6 +52,10 @@ func TestErrDropFixture(t *testing.T) {
 	fixture(t, "lecopt/internal/engine", "errdrop")
 }
 
+func TestPaperModelFixture(t *testing.T) {
+	fixture(t, "lecopt/internal/experiments", "papermodel")
+}
+
 // moduleOnce loads and type-checks the real module once per test binary.
 var moduleOnce = sync.OnceValues(func() (*Module, error) {
 	return LoadModule(".")
@@ -114,10 +118,10 @@ func TestModuleCoverage(t *testing.T) {
 	}
 }
 
-// TestRegistry pins the analyzer roster: the ISSUE's five invariants must
-// all stay registered, and names must be unique (directives key on them).
+// TestRegistry pins the analyzer roster: the suite's invariants must all
+// stay registered, and names must be unique (directives key on them).
 func TestRegistry(t *testing.T) {
-	want := []string{"determinism", "distimmut", "optguard", "fppurity", "errdrop"}
+	want := []string{"determinism", "distimmut", "optguard", "fppurity", "errdrop", "papermodel"}
 	got := map[string]bool{}
 	for _, a := range Analyzers() {
 		if got[a.Name] {

@@ -1,0 +1,13 @@
+// Package cost is a leclint fixture shadowing the real cost package:
+// just the model-selector surface the papermodel fixture needs.
+package cost
+
+// Model selects which machine the join formulas describe.
+type Model uint8
+
+// Model values mirroring the real package: ModelPaper is deliberately
+// the zero value.
+const (
+	ModelPaper Model = iota
+	ModelEngine
+)

@@ -22,11 +22,11 @@ func LSC(cat *catalog.Catalog, blk *query.Block, opts Options, mem float64) (Res
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := c.dpBest(pointScorer{mem})
+	res, err := c.dpBest(pointScorer{mem, c.opts.CostModel})
 	if err != nil {
 		return Result{}, err
 	}
-	return withPhaseEC(res, []dist.Dist{dist.Point(mem)})
+	return withPhaseEC(res, c.opts.CostModel, []dist.Dist{dist.Point(mem)})
 }
 
 // AlgorithmC computes the LEC left-deep plan for a static memory law
@@ -36,11 +36,11 @@ func AlgorithmC(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.D
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := c.dpBest(lawScorer{staticLaws(mem, c.n)})
+	res, err := c.dpBest(lawScorer{staticLaws(mem, c.n), c.opts.CostModel})
 	if err != nil {
 		return Result{}, err
 	}
-	return withPhaseEC(res, staticLaws(mem, c.n))
+	return withPhaseEC(res, c.opts.CostModel, staticLaws(mem, c.n))
 }
 
 // AlgorithmCDynamic computes the LEC left-deep plan when memory evolves
@@ -55,11 +55,11 @@ func AlgorithmCDynamic(cat *catalog.Catalog, blk *query.Block, opts Options, ini
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := c.dpBest(lawScorer{laws})
+	res, err := c.dpBest(lawScorer{laws, c.opts.CostModel})
 	if err != nil {
 		return Result{}, err
 	}
-	return withPhaseEC(res, laws)
+	return withPhaseEC(res, c.opts.CostModel, laws)
 }
 
 // bucketPoints lists the memory values Algorithms A and B probe with an LSC
@@ -97,11 +97,11 @@ func AlgorithmA(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.D
 	points := bucketPoints(mem)
 	runs := make([]cand, len(points))
 	err = pool.Run(len(points), c.opts.workers(len(points)), func(i int) error {
-		r, err := c.dpBest(pointScorer{points[i]})
+		r, err := c.dpBest(pointScorer{points[i], c.opts.CostModel})
 		if err != nil {
 			return err
 		}
-		ec, err := ExpectedCost(r.Plan, laws)
+		ec, err := ExpectedCostModel(c.opts.CostModel, r.Plan, laws)
 		if err != nil {
 			return err
 		}
@@ -131,7 +131,7 @@ func AlgorithmA(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.D
 	if best < 0 {
 		return Result{}, ErrNoPlan
 	}
-	return withPhaseEC(Result{Plan: cands[best].res.Plan, EC: cands[best].ec, Candidates: len(cands)}, laws)
+	return withPhaseEC(Result{Plan: cands[best].res.Plan, EC: cands[best].ec, Candidates: len(cands)}, c.opts.CostModel, laws)
 }
 
 // AlgorithmB generalizes Algorithm A by generating the top-c plans per
@@ -161,13 +161,13 @@ func AlgorithmB(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.D
 	points := bucketPoints(mem)
 	runs := make([]bucketRun, len(points))
 	err = pool.Run(len(points), cx.opts.workers(len(points)), func(i int) error {
-		tops, pr, err := cx.dpTopC(pointScorer{points[i]}, c)
+		tops, pr, err := cx.dpTopC(pointScorer{points[i], cx.opts.CostModel}, c)
 		if err != nil {
 			return err
 		}
 		run := bucketRun{probes: pr}
 		for _, e := range tops {
-			ec, err := ExpectedCost(e.node, laws)
+			ec, err := ExpectedCostModel(cx.opts.CostModel, e.node, laws)
 			if err != nil {
 				return err
 			}
@@ -203,7 +203,7 @@ func AlgorithmB(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.D
 	if best < 0 {
 		return Result{}, ErrNoPlan
 	}
-	return withPhaseEC(Result{Plan: cands[best].e.node, EC: cands[best].ec, Candidates: len(cands), Probes: probes}, laws)
+	return withPhaseEC(Result{Plan: cands[best].e.node, EC: cands[best].ec, Candidates: len(cands), Probes: probes}, cx.opts.CostModel, laws)
 }
 
 // dpTopC is the Algorithm B inner pass: System R keeping the top-c entries
@@ -317,7 +317,7 @@ func AlgorithmD(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.D
 	}
 	// D's PhaseEC is evaluated at the plan's annotated point sizes: the
 	// joint size laws don't decompose per phase, the memory law does.
-	return withPhaseEC(res, staticLaws(mem, c.n))
+	return withPhaseEC(res, c.opts.CostModel, staticLaws(mem, c.n))
 }
 
 // distEntry extends entry with the node's size law.
@@ -373,7 +373,7 @@ func (c *ctx) dpDist(mem dist.Dist) (Result, error) {
 							outLaw = dist.Point(v)
 						}
 						for _, m := range c.opts.Methods {
-							jc := expcost.JoinEC(m, left.law, right.law, mem)
+							jc := expcost.JoinECModel(c.opts.CostModel, m, left.law, right.law, mem)
 							outPages := outLaw.Mean()
 							order := c.joinOutputOrder(m, j, rest, left.order)
 							node := plan.NewJoin(m, left.node, right.node, outPages, order)
@@ -419,13 +419,14 @@ func (c *ctx) dpDist(mem dist.Dist) (Result, error) {
 }
 
 // withPhaseEC annotates a finished result with its per-phase analytic
-// breakdown under the laws the plan was selected with.
-func withPhaseEC(r Result, laws []dist.Dist) (Result, error) {
-	ph, err := ExpectedCostPhases(r.Plan, laws)
+// breakdown under the model and laws the plan was selected with.
+func withPhaseEC(r Result, model cost.Model, laws []dist.Dist) (Result, error) {
+	ph, err := ExpectedCostPhasesModel(model, r.Plan, laws)
 	if err != nil {
 		return Result{}, err
 	}
 	r.PhaseEC = ph
+	r.Model = model
 	return r, nil
 }
 
@@ -434,7 +435,12 @@ func withPhaseEC(r Result, laws []dist.Dist) (Result, error) {
 // of memory in phase i; pass a single-element slice for a static law —
 // it is repeated for later phases). Scan costs are memory-independent.
 func ExpectedCost(p *plan.Node, laws []dist.Dist) (float64, error) {
-	phases, err := ExpectedCostPhases(p, laws)
+	return ExpectedCostModel(cost.ModelPaper, p, laws)
+}
+
+// ExpectedCostModel is ExpectedCost under the selected cost model.
+func ExpectedCostModel(model cost.Model, p *plan.Node, laws []dist.Dist) (float64, error) {
+	phases, err := ExpectedCostPhasesModel(model, p, laws)
 	if err != nil {
 		return 0, err
 	}
@@ -453,6 +459,12 @@ func ExpectedCost(p *plan.Node, laws []dist.Dist) (float64, error) {
 // they complete. Conditioning the same breakdown on a realized memory
 // trajectory instead of the laws is plan.CostPhases itself.
 func ExpectedCostPhases(p *plan.Node, laws []dist.Dist) ([]float64, error) {
+	return ExpectedCostPhasesModel(cost.ModelPaper, p, laws)
+}
+
+// ExpectedCostPhasesModel is ExpectedCostPhases under the selected cost
+// model (joins charged with cost.JoinIOModel).
+func ExpectedCostPhasesModel(model cost.Model, p *plan.Node, laws []dist.Dist) ([]float64, error) {
 	if len(laws) == 0 {
 		return nil, ErrLawsShort
 	}
@@ -502,7 +514,7 @@ func ExpectedCostPhases(p *plan.Node, laws []dist.Dist) ([]float64, error) {
 			}
 			k := kl + kr
 			out[k-2] += lawAt(k - 2).ExpectF(func(m float64) float64 {
-				return cost.JoinIO(n.Method, n.Left.OutPages, n.Right.OutPages, m)
+				return cost.JoinIOModel(model, n.Method, n.Left.OutPages, n.Right.OutPages, m)
 			})
 			return k, nil
 		}

@@ -17,10 +17,13 @@ type scorer interface {
 }
 
 // pointScorer costs at one fixed memory value: the classical optimizer.
-type pointScorer struct{ mem float64 }
+type pointScorer struct {
+	mem   float64
+	model cost.Model
+}
 
 func (s pointScorer) joinScore(m cost.JoinMethod, outer, inner float64, _ int) float64 {
-	return cost.JoinIO(m, outer, inner, s.mem)
+	return cost.JoinIOModel(s.model, m, outer, inner, s.mem)
 }
 
 func (s pointScorer) sortScore(pages float64, _ int) float64 {
@@ -32,7 +35,10 @@ func (s pointScorer) sortScore(pages float64, _ int) float64 {
 // phase laws it is the Section 3.5 dynamic case. Expectation distributes
 // over the plan's phase-cost sum, which is exactly why the DP argument of
 // Theorem 3.3 carries over (Theorem 3.4).
-type lawScorer struct{ laws []dist.Dist }
+type lawScorer struct {
+	laws  []dist.Dist
+	model cost.Model
+}
 
 func (s lawScorer) law(phase int) dist.Dist {
 	if phase >= len(s.laws) {
@@ -43,7 +49,7 @@ func (s lawScorer) law(phase int) dist.Dist {
 
 func (s lawScorer) joinScore(m cost.JoinMethod, outer, inner float64, phase int) float64 {
 	return s.law(phase).ExpectF(func(mem float64) float64 {
-		return cost.JoinIO(m, outer, inner, mem)
+		return cost.JoinIOModel(s.model, m, outer, inner, mem)
 	})
 }
 

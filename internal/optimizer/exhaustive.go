@@ -22,12 +22,12 @@ func ExhaustiveLEC(cat *catalog.Catalog, blk *query.Block, opts Options, laws []
 		return Result{}, err
 	}
 	res, err := c.exhaustive(func(p *plan.Node) (float64, error) {
-		return ExpectedCost(p, laws)
+		return ExpectedCostModel(c.opts.CostModel, p, laws)
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	return withPhaseEC(res, laws)
+	return withPhaseEC(res, c.opts.CostModel, laws)
 }
 
 // ExhaustiveLSC is the point-cost oracle for Theorem 2.1: the true best
@@ -39,12 +39,12 @@ func ExhaustiveLSC(cat *catalog.Catalog, blk *query.Block, opts Options, mem flo
 		return Result{}, err
 	}
 	res, err := c.exhaustive(func(p *plan.Node) (float64, error) {
-		return p.CostAt(mem), nil
+		return p.CostAtModel(c.opts.CostModel, mem), nil
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	return withPhaseEC(res, []dist.Dist{dist.Point(mem)})
+	return withPhaseEC(res, c.opts.CostModel, []dist.Dist{dist.Point(mem)})
 }
 
 // exhaustive enumerates all left-deep plans and keeps the minimum under

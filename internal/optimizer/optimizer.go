@@ -77,6 +77,14 @@ type Options struct {
 	// single-table hints. Unlike Workers, hints change which plan is
 	// found, so they are hashed into plan-cache signatures.
 	SizeHints map[string]float64
+	// CostModel selects which machine the join formulas describe
+	// (cost.ModelPaper or cost.ModelEngine). The zero value is ModelPaper
+	// — the paper's three-case formulas — so default options, every
+	// experiment and every golden table keep their published numbers; the
+	// serving path opts into ModelEngine, which charges grace hash with
+	// the engine's exact partitioning recursion. The model changes which
+	// plan is found, so it is hashed into plan-cache signatures.
+	CostModel cost.Model
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +126,11 @@ type Result struct {
 	// Probes counts candidate-pair combinations examined by the
 	// Proposition 3.1 frontier (Algorithm B only).
 	Probes int
+	// Model is the cost model the plan was selected and scored under
+	// (Options.CostModel); PhaseECAt conditions on it so per-phase
+	// comparisons against the engine use the same formulas the optimizer
+	// believed.
+	Model cost.Model
 }
 
 // PhaseECAt returns the plan's analytic charge for one phase conditioned
@@ -130,7 +143,7 @@ func (r Result) PhaseECAt(phase int, mem float64) float64 {
 	if r.Plan == nil {
 		return math.NaN()
 	}
-	ph, err := r.Plan.CostPhases(plan.ConstMem(mem))
+	ph, err := r.Plan.CostPhasesModel(r.Model, plan.ConstMem(mem))
 	if err != nil || phase < 0 || phase >= len(ph) {
 		return math.NaN()
 	}

@@ -94,7 +94,7 @@ func AlgorithmCRefined(cat *catalog.Catalog, blk *query.Block, opts Options, mem
 		nCuts *= 2
 	}
 	// Exact score under the full law, regardless of which round won.
-	ec, err := ExpectedCost(res.Plan, staticLaws(mem, len(blk.Tables)))
+	ec, err := ExpectedCostModel(c.opts.CostModel, res.Plan, staticLaws(mem, len(blk.Tables)))
 	if err != nil {
 		return Result{}, stats, err
 	}

@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"lecopt/internal/catalog"
+	"lecopt/internal/cost"
 	"lecopt/internal/dist"
 	"lecopt/internal/optimizer"
 	"lecopt/internal/plan"
@@ -49,7 +50,13 @@ type Cache struct {
 	entries []Entry
 	// distinct plans by signature, for SelectByEC.
 	planSet []*plan.Node
+	// model is the cost model the plans were precomputed under; SelectByEC
+	// re-costs with the same model so selection and precomputation agree.
+	model cost.Model
 }
+
+// Model returns the cost model the cache's plans were precomputed under.
+func (c *Cache) Model() cost.Model { return c.model }
 
 // Precompute runs Algorithm C once per anticipated law and stores the
 // results. Duplicate plans (several laws mapping to the same plan — the
@@ -58,7 +65,7 @@ func Precompute(cat *catalog.Catalog, blk *query.Block, opts optimizer.Options, 
 	if len(laws) == 0 {
 		return nil, ErrEmptyCache
 	}
-	c := &Cache{}
+	c := &Cache{model: opts.CostModel}
 	seen := map[string]bool{}
 	for _, law := range laws {
 		res, err := optimizer.AlgorithmC(cat, blk, opts, law)
@@ -114,7 +121,7 @@ func (c *Cache) SelectByEC(actual dist.Dist) (*plan.Node, float64, error) {
 	bestEC := math.Inf(1)
 	bestSig := ""
 	for _, p := range c.planSet {
-		ec, err := optimizer.ExpectedCost(p, laws)
+		ec, err := optimizer.ExpectedCostModel(c.model, p, laws)
 		if err != nil {
 			return nil, 0, err
 		}

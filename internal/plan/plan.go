@@ -302,7 +302,12 @@ func phaseOf(relations int) int { return relations - 2 }
 // CostAt returns C(P, v) for a constant memory value v — the classical
 // single-point cost. Equivalent to CostSeq with a constant sequence.
 func (n *Node) CostAt(mem float64) float64 {
-	c, err := n.CostSeq(constSeq{mem})
+	return n.CostAtModel(cost.ModelPaper, mem)
+}
+
+// CostAtModel is CostAt under the selected cost model.
+func (n *Node) CostAtModel(model cost.Model, mem float64) float64 {
+	c, err := n.CostSeqModel(model, constSeq{mem})
 	if err != nil {
 		// constSeq never runs short; structural errors surface as NaN.
 		return math.NaN()
@@ -336,7 +341,12 @@ func (s SliceMem) MemAt(phase int) (float64, error) {
 // CostSeq returns C(P, v) where v is a per-phase memory sequence
 // (Section 3.5): the sum of the CostPhases breakdown.
 func (n *Node) CostSeq(mem MemSeq) (float64, error) {
-	phases, err := n.CostPhases(mem)
+	return n.CostSeqModel(cost.ModelPaper, mem)
+}
+
+// CostSeqModel is CostSeq under the selected cost model.
+func (n *Node) CostSeqModel(model cost.Model, mem MemSeq) (float64, error) {
+	phases, err := n.CostPhasesModel(model, mem)
 	if err != nil {
 		return 0, err
 	}
@@ -360,6 +370,14 @@ func (n *Node) CostSeq(mem MemSeq) (float64, error) {
 //     already counts reading both inputs — except when a sort consumes it
 //     directly, in which case the sort pays the base read in its phase.
 func (n *Node) CostPhases(mem MemSeq) ([]float64, error) {
+	return n.CostPhasesModel(cost.ModelPaper, mem)
+}
+
+// CostPhasesModel is CostPhases under the selected cost model: joins are
+// charged with cost.JoinIOModel, so ModelEngine replaces the paper's
+// three-case grace-hash multiplier with the engine's exact recursion.
+// Sort and scan charges are identical under both models.
+func (n *Node) CostPhasesModel(model cost.Model, mem MemSeq) ([]float64, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -405,7 +423,7 @@ func (n *Node) CostPhases(mem MemSeq) ([]float64, error) {
 			if err != nil {
 				return 0, err
 			}
-			out[phaseOf(k)] += cost.JoinIO(m.Method, m.Left.OutPages, m.Right.OutPages, mv)
+			out[phaseOf(k)] += cost.JoinIOModel(model, m.Method, m.Left.OutPages, m.Right.OutPages, mv)
 			return k, nil
 		default:
 			return 0, fmt.Errorf("%w: kind %d", ErrShape, m.Kind)

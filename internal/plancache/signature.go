@@ -82,8 +82,8 @@ func SignatureMargin(cat *catalog.Catalog, blk *query.Block, env envsim.Env,
 	for i, m := range opts.Methods {
 		methods[i] = m.String()
 	}
-	fmt.Fprintf(h, "opts methods=%v noidx=%v minpages=%v sizebuckets=%d\n",
-		methods, opts.DisableIndexes, opts.MinPages, opts.SizeBuckets)
+	fmt.Fprintf(h, "opts methods=%v noidx=%v minpages=%v sizebuckets=%d costmodel=%s\n",
+		methods, opts.DisableIndexes, opts.MinPages, opts.SizeBuckets, opts.CostModel)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -174,7 +174,7 @@ func (m *Mix) MeasureModelAgreement(cfg AgreementConfig) (*AgreementReport, erro
 				}
 			}
 		}
-		model, err := cur.CostSeq(plan.SliceMem(memSeq))
+		model, err := cur.CostSeqModel(servingCostModel, plan.SliceMem(memSeq))
 		if err != nil {
 			return nil, fmt.Errorf("serving: agreement trial %d: %w", trial, err)
 		}

@@ -71,6 +71,14 @@ type Report struct {
 	PerQuery  []QueryStats  `json:"per_query"`
 	PerTenant []TenantStats `json:"per_tenant"`
 
+	// GraceFallbacks counts, over every executed request of both policies,
+	// the grace-hash partitions that hit the engine's recursion level cap
+	// and degenerated to block nested-loop; GraceFallbackIO is the I/O
+	// those degenerate joins booked. Nonzero values mean some plans ran
+	// outside the regime cost.GracePasses models — healthy mixes report 0.
+	GraceFallbacks  int64 `json:"grace_fallbacks"`
+	GraceFallbackIO int64 `json:"grace_fallback_io"`
+
 	// RankAgreement reports whether, for every tenant, the analytic
 	// ranking of the two policies (sum of chosen-plan expected costs)
 	// agrees in sign with their realized-I/O ranking. A false value is a
@@ -173,6 +181,9 @@ type aggregator struct {
 	perTenant []TenantStats
 	plans     map[planKey]*PlanCount
 	ledger    *ledger
+
+	graceFallbacks  int64
+	graceFallbackIO int64
 }
 
 // planKey identifies one distinct executed plan per query and policy.
@@ -201,6 +212,8 @@ func (a *aggregator) observe(req request, pair planPair, lsc, lec execOutcome) {
 	a.totalLEC += lec.io
 	a.predLSC += pair.lscEC
 	a.predLEC += pair.lecEC
+	a.graceFallbacks += int64(lsc.fallbacks) + int64(lec.fallbacks)
+	a.graceFallbackIO += lsc.fallbackIO + lec.fallbackIO
 	best := lsc.io
 	if lec.io < best {
 		best = lec.io
@@ -281,6 +294,8 @@ func (a *aggregator) report() *Report {
 		LSCRegretP50:      percentile(a.lscRegret, 0.50),
 		LSCRegretP90:      percentile(a.lscRegret, 0.90),
 		LSCRegretP99:      percentile(a.lscRegret, 0.99),
+		GraceFallbacks:    a.graceFallbacks,
+		GraceFallbackIO:   a.graceFallbackIO,
 	}
 	if a.predLSC > 0 {
 		rep.PredictedRatio = a.predLEC / a.predLSC

@@ -88,6 +88,10 @@ type execOutcome struct {
 	phaseMem  []float64          // effective memory each phase ran with
 	condEC    []float64          // model's per-phase charge conditioned on phaseMem
 	joinSizes map[string]float64 // observed intermediate pages by table set
+	// Grace-hash degeneration markers forwarded from engine.ExecResult:
+	// level-cap fallbacks to block nested-loop and the I/O they booked.
+	fallbacks  int
+	fallbackIO int64
 }
 
 // Run simulates cfg.Requests serving requests against the mix: each
@@ -262,22 +266,25 @@ func (m *Mix) catalogAt(memo map[driftCatKey]*catalog.Catalog, q int, factor flo
 // returns its realized I/O. The output relation is dropped so repeated
 // executions do not accumulate state. Alongside the engine's measured
 // per-phase I/O it records the model's conditional per-phase charge at
-// the memory the executor actually consumed (plan.CostPhases over
-// ExecResult.PhaseMem) — the analytic half of the phase ledger.
+// the memory the executor actually consumed (plan.CostPhasesModel under
+// the serving cost model, over ExecResult.PhaseMem) — the analytic half
+// of the phase ledger.
 func executeOnce(q *ServingQuery, p *plan.Node, memSeq []float64) (execOutcome, error) {
 	res, err := q.Eng.ExecutePlan(p, memSeq)
 	if err != nil {
 		return execOutcome{}, err
 	}
 	q.Store.Drop(res.Output.Name)
-	condEC, err := p.CostPhases(plan.SliceMem(res.PhaseMem))
+	condEC, err := p.CostPhasesModel(servingCostModel, plan.SliceMem(res.PhaseMem))
 	if err != nil {
 		return execOutcome{}, err
 	}
 	return execOutcome{
 		io: res.Stats.IO(), phaseIO: res.PhaseIO,
 		phaseMem: res.PhaseMem, condEC: condEC,
-		joinSizes: res.JoinSizes,
+		joinSizes:  res.JoinSizes,
+		fallbacks:  res.GraceFallbacks,
+		fallbackIO: res.GraceFallbackIO,
 	}, nil
 }
 

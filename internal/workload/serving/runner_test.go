@@ -168,3 +168,39 @@ func TestRunExecutesIndexPlans(t *testing.T) {
 		t.Fatalf("heap-only mix: LEC realized more I/O than LSC: %d > %d", heapRep.TotalLECIO, heapRep.TotalLSCIO)
 	}
 }
+
+// TestRunZeroGraceFallbacks: neither the default nor the heap-only mix
+// may drive any grace-hash execution into the level-cap block-NL
+// fallback — the key distributions are benign, so a nonzero count means
+// the engine's recursion (or the shared fan-out arithmetic in
+// internal/cost) regressed. This also keeps cost.ModelEngine honest:
+// the model charges the no-fallback recursion, and these mixes are the
+// runs it is charged against.
+func TestRunZeroGraceFallbacks(t *testing.T) {
+	rep, err := defaultMix(t, 1).Run(RunConfig{Requests: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GraceFallbacks != 0 || rep.GraceFallbackIO != 0 {
+		t.Fatalf("default mix degenerated: %d grace fallbacks, %d pages of fallback I/O",
+			rep.GraceFallbacks, rep.GraceFallbackIO)
+	}
+
+	spec, err := DefaultMixSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.DisableIndexes = true
+	m, err := NewMix(spec, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heapRep, err := m.Run(RunConfig{Requests: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heapRep.GraceFallbacks != 0 || heapRep.GraceFallbackIO != 0 {
+		t.Fatalf("heap-only mix degenerated: %d grace fallbacks, %d pages of fallback I/O",
+			heapRep.GraceFallbacks, heapRep.GraceFallbackIO)
+	}
+}
