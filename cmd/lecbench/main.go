@@ -43,6 +43,8 @@ func main() {
 		alg       = flag.String("alg", "algorithm-c", "throughput mode: optimization algorithm")
 
 		workloadM = flag.Bool("workload", false, "workload mode: engine-in-the-loop LSC-vs-LEC serving simulation")
+		fleetM    = flag.Bool("fleet", false, "fleet mode: Zipf tenant fleet through the resilience layer at each offered load level")
+		tenants   = flag.Int("tenants", 0, "fleet mode: tenant count (0 = spec default)")
 		queries   = flag.Int("queries", 0, "workload mode: distinct queries in the mix (0 = spec default)")
 		zipf      = flag.Float64("zipf", 0, "workload mode: popularity skew (0 = spec default)")
 		driftBand = flag.Float64("driftband", 0, "workload mode: plan-cache drift band base (0 = service default, <=1 = exact keys)")
@@ -63,6 +65,19 @@ func main() {
 		return def
 	}
 	switch {
+	case *fleetM:
+		if *runSpec != "" || *list || *workloadM {
+			fmt.Fprintln(os.Stderr, "lecbench: -fleet cannot be combined with -run/-list/-workload")
+			os.Exit(1)
+		}
+		cfg := fleetModeConfig{
+			Tenants: *tenants, Requests: *requests, Seed: *seed,
+			Workers: *workers, CacheSize: *cacheSize, DriftBand: *driftBand,
+		}
+		if _, err := runFleetMode(cfg, artifact("BENCH_fleet.json"), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "lecbench:", err)
+			os.Exit(1)
+		}
 	case *workloadM:
 		if *runSpec != "" || *list {
 			fmt.Fprintln(os.Stderr, "lecbench: -run/-list select experiments and cannot be combined with -workload")

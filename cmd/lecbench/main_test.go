@@ -68,6 +68,18 @@ func TestThroughputModeEmitsArtifact(t *testing.T) {
 	if !strings.Contains(out.String(), "plans/sec") {
 		t.Fatalf("summary missing throughput line:\n%s", out.String())
 	}
+	// The per-request optimize-latency histogram covers every successful
+	// request with ordered quantiles.
+	h := onDisk.OptimizeLatency
+	if h.Count != 60-onDisk.Errors {
+		t.Fatalf("latency histogram count %d, want %d", h.Count, 60-onDisk.Errors)
+	}
+	if h.P50 <= 0 || h.P50 > h.P90 || h.P90 > h.P99 || h.P99 > h.Max {
+		t.Fatalf("implausible latency quantiles: %+v", h)
+	}
+	if !strings.Contains(out.String(), "optimize latency p50/p90/p99/max") {
+		t.Fatalf("summary missing latency line:\n%s", out.String())
+	}
 }
 
 func TestThroughputQPSPacing(t *testing.T) {

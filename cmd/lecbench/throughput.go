@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"lecopt"
+	"lecopt/internal/histo"
 	"lecopt/internal/workload"
 )
 
@@ -40,6 +41,11 @@ type throughputReport struct {
 	CacheEvictions  uint64  `json:"cache_evictions"`
 	CacheShardSizes []int   `json:"cache_shard_occupancy"`
 	Errors          int     `json:"errors"`
+	// OptimizeLatency is the per-request optimize-latency distribution in
+	// microseconds (wall-clock, from Response.Elapsed) — the same summary
+	// type the fleet report emits, so p50/p99 regressions are comparable
+	// across the batch and fleet artifacts.
+	OptimizeLatency histo.Summary `json:"optimize_latency_micros"`
 }
 
 func algByName(name string) (lecopt.Algorithm, error) {
@@ -138,14 +144,18 @@ func runThroughput(cfg throughputConfig, jsonPath string, w io.Writer) (throughp
 		AllocsPerOp:      float64(after.Mallocs-before.Mallocs) / float64(len(results)),
 		BytesPerOp:       float64(after.TotalAlloc-before.TotalAlloc) / float64(len(results)),
 	}
+	var lat histo.Histogram
 	for i, r := range results {
 		if r.Err != nil {
 			rep.Errors++
 			if rep.Errors == 1 {
 				fmt.Fprintf(w, "first failure: request %d: %v\n", i, r.Err)
 			}
+			continue
 		}
+		lat.Observe(float64(r.Elapsed.Nanoseconds()) / 1e3)
 	}
+	rep.OptimizeLatency = lat.Summary()
 	if cfg.Cache {
 		st := opt.CacheStats()
 		rep.CacheHits, rep.CacheMisses, rep.CacheHitRate = st.Hits, st.Misses, st.HitRate()
@@ -156,6 +166,8 @@ func runThroughput(cfg throughputConfig, jsonPath string, w io.Writer) (throughp
 		cfg.Requests, cfg.Distinct, cfg.Workers, cfg.Cache)
 	fmt.Fprintf(w, "  %.0f plans/sec (%.3fs elapsed), %.0f allocs/op, %.0f bytes/op\n",
 		rep.PlansPerSec, rep.ElapsedSeconds, rep.AllocsPerOp, rep.BytesPerOp)
+	fmt.Fprintf(w, "  optimize latency p50/p90/p99/max: %.0f/%.0f/%.0f/%.0f us\n",
+		rep.OptimizeLatency.P50, rep.OptimizeLatency.P90, rep.OptimizeLatency.P99, rep.OptimizeLatency.Max)
 	if cfg.Cache {
 		fmt.Fprintf(w, "  cache: %d hits, %d misses, %.1f%% hit rate, %d evictions\n",
 			rep.CacheHits, rep.CacheMisses, 100*rep.CacheHitRate, rep.CacheEvictions)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"lecopt/internal/catalog"
 	"lecopt/internal/dist"
@@ -169,6 +170,12 @@ type Response struct {
 	// Parametric reports the plan came from a prepared statement's
 	// precomputed plan set rather than a full optimization.
 	Parametric bool
+	// Elapsed is the wall-clock time this request spent inside the handle
+	// (cache lookup plus, on a miss, the optimization) — the per-request
+	// latency the BENCH_batch.json histograms aggregate. It is measurement
+	// metadata: deterministic outputs (reports, artifacts that must be
+	// byte-identical) never serialize it.
+	Elapsed time.Duration
 	// Err is the per-request failure in batch responses (nil on success).
 	Err error
 }
@@ -252,6 +259,7 @@ func (o *Optimizer) scenario(req Request) (*Scenario, error) {
 
 // Optimize runs one request through the cache-then-optimize path.
 func (o *Optimizer) Optimize(req Request) (Response, error) {
+	start := time.Now()
 	sc, err := o.scenario(req)
 	if err != nil {
 		return Response{Err: err}, err
@@ -260,7 +268,54 @@ func (o *Optimizer) Optimize(req Request) (Response, error) {
 	if err != nil {
 		return Response{Err: err}, err
 	}
-	return Response{PlanReport: rep, CacheHit: hit}, nil
+	return Response{PlanReport: rep, CacheHit: hit, Elapsed: time.Since(start)}, nil
+}
+
+// Cached serves a request from the plan cache alone: no optimization is
+// ever started, so the call is safe on any hot path that must not pay
+// cold-plan compute — the resilience layer's budget-denied and
+// breaker-open serving. The primary banded key is probed first, then each
+// margin is probed with both signs in band units (nearest first), so a
+// caller can widen the search to neighboring drift bands and serve the
+// *nearest* cached plan for a tenant whose statistics have walked away.
+// With no margins given, the band-edge hysteresis margin is probed, which
+// makes a Cached hit equivalent to "Optimize would have hit". All probes
+// are uncounted (plancache.Probe): a denied request must not distort the
+// hit-rate trajectory the cache stats track. Nothing is re-cached — a
+// far-band plan served under pressure must not poison the primary band.
+func (o *Optimizer) Cached(req Request, margins ...float64) (Response, bool) {
+	if o.cache == nil {
+		return Response{}, false
+	}
+	sc, err := o.scenario(req)
+	if err != nil {
+		return Response{Err: err}, false
+	}
+	key, err := sc.CacheKeyBanded(req.Alg, o.band)
+	if err != nil {
+		return Response{Err: err}, false
+	}
+	if rep, ok := o.cache.Probe(key); ok {
+		return Response{PlanReport: rep, CacheHit: true}, true
+	}
+	if o.band <= 1 {
+		return Response{}, false
+	}
+	if len(margins) == 0 {
+		margins = []float64{BandMargin}
+	}
+	for _, m := range margins {
+		for _, margin := range []float64{-m, m} {
+			probe, err := sc.CacheKeyBandedMargin(req.Alg, o.band, margin)
+			if err != nil || probe == key {
+				continue
+			}
+			if rep, ok := o.cache.Probe(probe); ok {
+				return Response{PlanReport: rep, CacheHit: true}, true
+			}
+		}
+	}
+	return Response{}, false
 }
 
 // runOne serves one scenario from the plan cache or optimizes and caches.
@@ -354,11 +409,12 @@ func (o *Optimizer) OptimizeBatch(reqs []Request) []Response {
 			if scs[i] == nil {
 				return nil
 			}
+			start := time.Now()
 			rep, err := damp(scs[i]).Optimize(reqs[i].Alg)
 			if err != nil {
 				out[i] = Response{Err: err}
 			} else {
-				out[i] = Response{PlanReport: rep}
+				out[i] = Response{PlanReport: rep, Elapsed: time.Since(start)}
 			}
 			return nil
 		})
@@ -431,15 +487,16 @@ func (o *Optimizer) OptimizeBatch(reqs []Request) []Response {
 		key := keys[gi]
 		g := groups[key]
 		i := g.rep
+		start := time.Now()
 		if rep, ok := o.cache.Get(key); ok {
-			out[i] = Response{PlanReport: rep, CacheHit: true}
+			out[i] = Response{PlanReport: rep, CacheHit: true, Elapsed: time.Since(start)}
 		} else {
 			rep, err := damp(scs[i]).Optimize(reqs[i].Alg)
 			if err != nil {
 				out[i] = Response{Err: err}
 			} else {
 				o.cache.Put(key, rep)
-				out[i] = Response{PlanReport: rep}
+				out[i] = Response{PlanReport: rep, Elapsed: time.Since(start)}
 			}
 		}
 		for di, d := range g.dups {
@@ -447,8 +504,9 @@ func (o *Optimizer) OptimizeBatch(reqs []Request) []Response {
 				out[d] = out[i]
 				continue
 			}
+			dupStart := time.Now()
 			if rep, ok := o.cache.Get(key); ok { // counts the duplicate's lookup
-				out[d] = Response{PlanReport: rep, CacheHit: true}
+				out[d] = Response{PlanReport: rep, CacheHit: true, Elapsed: time.Since(dupStart)}
 			} else { // evicted under pressure mid-batch: reuse the answer
 				out[d] = out[i]
 			}

@@ -32,6 +32,13 @@ func TestDeterminismFixture(t *testing.T) {
 	fixture(t, "determinism", "determinism")
 }
 
+// TestResilienceFixture seeds the violation the resilience layer is most
+// at risk of: breaker logic reaching for the wall clock instead of the
+// injected virtual clock.
+func TestResilienceFixture(t *testing.T) {
+	fixture(t, "lecopt/internal/resilience", "determinism")
+}
+
 func TestDistImmutFixture(t *testing.T) {
 	fixture(t, "lecopt/internal/dist", "distimmut")
 }
@@ -107,9 +114,12 @@ func TestModuleCoverage(t *testing.T) {
 		"lecopt/internal/feedback",
 		"lecopt/internal/optimizer",
 		"lecopt/internal/plancache",
+		"lecopt/internal/histo",
 		"lecopt/internal/query",
+		"lecopt/internal/resilience",
 		"lecopt/internal/storage",
 		"lecopt/internal/workload",
+		"lecopt/internal/workload/fleet",
 		"lecopt/internal/workload/serving",
 	} {
 		if !seen[mustSee] {

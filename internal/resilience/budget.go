@@ -1,0 +1,71 @@
+package resilience
+
+// BudgetSpec is a per-tenant optimization budget: a token bucket denominated
+// in modeled optimize-work microseconds. Cold-path plan computation is
+// admitted only while the tenant holds at least a cold optimization's base
+// cost in tokens; over-budget tenants are served the nearest banded cached
+// plan (or a degraded plan) instead, so one drift-churning tenant cannot
+// starve the fleet's optimizer of compute. The zero value disables
+// budgeting (every request admitted).
+type BudgetSpec struct {
+	// Capacity is the bucket size in Micros of modeled work. 0 disables.
+	Capacity Micros
+	// RefillPerSec is the token refill rate in Micros of modeled work per
+	// virtual second — i.e. RefillPerSec/1e6 is the fraction of one
+	// optimizer-core's time this tenant may consume at steady state.
+	RefillPerSec Micros
+}
+
+func (s BudgetSpec) enabled() bool { return s.Capacity > 0 }
+
+// budget is one tenant's bucket. Not concurrency-safe: the wrapper's mutex
+// guards it.
+type budget struct {
+	spec   BudgetSpec
+	tokens Micros
+	last   Micros // virtual time of the last refill
+	primed bool
+}
+
+// refill accrues tokens up to capacity. Called with the wrapper lock held
+// before every admission check and every charge.
+func (b *budget) refill(now Micros) {
+	if !b.spec.enabled() {
+		return
+	}
+	if !b.primed {
+		// A tenant's first request finds a full bucket at its own arrival
+		// time, wherever in the run that falls.
+		b.tokens, b.last, b.primed = b.spec.Capacity, now, true
+		return
+	}
+	if now > b.last {
+		b.tokens += (now - b.last) * b.spec.RefillPerSec / 1e6
+		if b.tokens > b.spec.Capacity {
+			b.tokens = b.spec.Capacity
+		}
+	}
+	// now <= b.last: clock went backwards (new load level) — keep tokens,
+	// restart accrual from the new time.
+	b.last = now
+}
+
+// admit reports whether a cold optimization costing at least base may
+// start. Admission does not reserve: the actual modeled work is charged
+// when it settles, and the bucket may run into debt on a burst — debt
+// just lengthens the deny window, which is the behavior we want under
+// overload.
+func (b *budget) admit(base Micros) bool {
+	if !b.spec.enabled() {
+		return true
+	}
+	return b.tokens >= base
+}
+
+// charge settles work micros against the bucket.
+func (b *budget) charge(work Micros) {
+	if !b.spec.enabled() || work <= 0 {
+		return
+	}
+	b.tokens -= work
+}

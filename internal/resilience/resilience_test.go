@@ -1,0 +1,271 @@
+package resilience
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lecopt/internal/catalog"
+	"lecopt/internal/core"
+	"lecopt/internal/dist"
+	"lecopt/internal/envsim"
+)
+
+// testCatalog builds n joinable tables whose distinct counts all sit in
+// the log2 band [512, 1024), so ScaleDistinct(4) moves every column
+// exactly two bands up — the drifted catalogs used to force cold misses.
+func testCatalog(t *testing.T, n int) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	for i := 0; i < n; i++ {
+		tab, err := catalog.NewTable(fmt.Sprintf("t%d", i), 1000, 10_000,
+			catalog.Column{Name: "k", Type: catalog.TypeInt, Distinct: 600 + float64(i)*17, Min: 0, Max: 1e6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.AddTable(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func scaled(t *testing.T, cat *catalog.Catalog, f float64) *catalog.Catalog {
+	t.Helper()
+	out, err := cat.ScaleDistinct(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func coreReq(cat *catalog.Catalog, sql string) core.Request {
+	return core.Request{SQL: sql, Cat: cat, Env: envsim.Env{Mem: dist.Point(2000)}, Alg: core.AlgC}
+}
+
+const joinSQL = "SELECT * FROM t0, t1 WHERE t0.k = t1.k"
+
+// flatLatency prices every cold optimization at exactly ColdBase so the
+// accounting in the tests is arithmetic, not plan-space-dependent.
+var flatLatency = LatencySpec{Hit: 10, ColdBase: 1000, Degraded: 40, Observe: 5}
+
+func TestBudgetDeniesColdPathAndStillServes(t *testing.T) {
+	cat := testCatalog(t, 2)
+	clock := NewVirtualClock(0)
+	w := New(core.NewOptimizer(nil, core.Config{}), Config{
+		Budget:  BudgetSpec{Capacity: 1000, RefillPerSec: 2000},
+		Latency: flatLatency,
+		Clock:   clock,
+	})
+
+	// r1: full bucket admits exactly one cold optimization and drains it.
+	out := w.Do(Request{Tenant: "a", Query: "q", Core: coreReq(cat, joinSQL)})
+	if out.Decision != DecisionCold || out.Charged != 1000 {
+		t.Fatalf("r1: want cold charging 1000, got %s charging %d", out.Decision, out.Charged)
+	}
+
+	// r2: a two-band drift at the same instant is a cold miss with an
+	// empty bucket — denied, but served the nearest banded cached plan
+	// (the widened band search reaches two bands away).
+	out = w.Do(Request{Tenant: "a", Query: "q", Core: coreReq(scaled(t, cat, 4), joinSQL)})
+	if out.Decision != DecisionDeniedCache {
+		t.Fatalf("r2: want %s, got %s", DecisionDeniedCache, out.Decision)
+	}
+	if out.Plan == nil || out.Err != nil {
+		t.Fatalf("r2: denied request must still be served a plan (err %v)", out.Err)
+	}
+
+	// r3: a four-band drift is beyond the widened search — degraded plan.
+	out = w.Do(Request{Tenant: "a", Query: "q", Core: coreReq(scaled(t, cat, 64), joinSQL)})
+	if out.Decision != DecisionDeniedDegraded || !out.Degraded || out.Plan == nil {
+		t.Fatalf("r3: want served degraded plan, got %s (plan %v, err %v)", out.Decision, out.Plan, out.Err)
+	}
+
+	// One virtual second refills the bucket: the same far drift is now
+	// admitted to the cold path.
+	clock.Advance(1_000_000)
+	out = w.Do(Request{Tenant: "a", Query: "q", Core: coreReq(scaled(t, cat, 64), joinSQL)})
+	if out.Decision != DecisionCold {
+		t.Fatalf("r4: refilled bucket should admit, got %s", out.Decision)
+	}
+
+	s := w.Stats()
+	if s.BudgetDenials != 2 || s.Requests != 4 {
+		t.Fatalf("stats: want 2 denials over 4 requests, got %+v", s)
+	}
+	if len(s.Tenants) != 1 || s.Tenants[0].Denials != 2 {
+		t.Fatalf("tenant breakdown wrong: %+v", s.Tenants)
+	}
+}
+
+func TestBreakerTripsServesDegradedAndRecovers(t *testing.T) {
+	cat := testCatalog(t, 2)
+	clock := NewVirtualClock(0)
+	w := New(core.NewOptimizer(nil, core.Config{}), Config{
+		Breaker: BreakerSpec{Window: 4, Threshold: 0.5, MinSamples: 2, Cooldown: 1000},
+		Latency: flatLatency,
+		Clock:   clock,
+	})
+	do := func(c *catalog.Catalog) Outcome {
+		return w.Do(Request{Tenant: "a", Query: "q", Core: coreReq(c, joinSQL)})
+	}
+
+	cat4, cat16 := scaled(t, cat, 4), scaled(t, cat, 16)
+	// Two band-crossing cold misses in a row: churn 2/2 trips the breaker.
+	if out := do(cat); out.Decision != DecisionCold {
+		t.Fatalf("r1: %s", out.Decision)
+	}
+	if out := do(cat4); out.Decision != DecisionCold {
+		t.Fatalf("r2: %s", out.Decision)
+	}
+	// Open: served without touching the cold path. cat16's band was never
+	// optimized, and the widened cache search (±2 bands around cat16)
+	// reaches cat4's band — degraded-but-cached service while open.
+	out := do(cat16)
+	if out.Breaker != "open" || out.Decision != DecisionBreakerCache {
+		t.Fatalf("r3: want open/breaker-cache, got %s/%s", out.Breaker, out.Decision)
+	}
+	// Cooldown elapses → half-open trial. A trial on a never-cached band
+	// is a cold miss: the tenant is still churning, the breaker reopens.
+	clock.Advance(1000)
+	out = do(scaled(t, cat, 256))
+	if out.Decision != DecisionBreakerTrial || out.Breaker != "half-open" {
+		t.Fatalf("r4: want half-open trial, got %s/%s", out.Breaker, out.Decision)
+	}
+	// Another cooldown → trial on that now-cached band with an unchanged
+	// plan: clean recovery, the breaker closes.
+	clock.Advance(1000)
+	if out := do(scaled(t, cat, 256)); out.Decision != DecisionBreakerTrial || !out.CacheHit {
+		t.Fatalf("r5: want trial cache hit, got %s (hit=%v)", out.Decision, out.CacheHit)
+	}
+	if out := do(scaled(t, cat, 256)); out.Decision != DecisionHit || out.Breaker != "closed" {
+		t.Fatalf("r6: closed breaker should serve hits, got %s/%s", out.Decision, out.Breaker)
+	}
+
+	s := w.Stats()
+	if s.BreakerTrips != 1 || s.BreakerReopens != 1 {
+		t.Fatalf("want 1 trip + 1 reopen, got %+v", s)
+	}
+	if s.Tenants[0].OpenServed != 1 {
+		t.Fatalf("want 1 open-served request, got %+v", s.Tenants[0])
+	}
+}
+
+// TestHedgeAccounting drives the win / loss / cancel cases with exact
+// arithmetic: flat 1000µs colds arm the p50 delay at 1000, then three
+// jittered requests land one on each side of the race.
+func TestHedgeAccounting(t *testing.T) {
+	cat := testCatalog(t, 6)
+	w := New(core.NewOptimizer(nil, core.Config{}), Config{
+		Hedge:   HedgeSpec{Quantile: 0.5, MinSamples: 3, Startup: 10},
+		Latency: flatLatency,
+		Clock:   NewVirtualClock(0),
+	})
+	pairs := [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}}
+	do := func(i int, pj, hj float64) Outcome {
+		sql := fmt.Sprintf("SELECT * FROM t%d, t%d WHERE t%d.k = t%d.k",
+			pairs[i][0], pairs[i][1], pairs[i][0], pairs[i][1])
+		return w.Do(Request{Tenant: "a", Query: fmt.Sprintf("q%d", i),
+			Core: coreReq(cat, sql), PrimaryJitter: pj, HedgeJitter: hj})
+	}
+
+	// Three unhedged colds at jitter 1 arm the delay ring: p50 = 1000.
+	for i := 0; i < 3; i++ {
+		if out := do(i, 1, 1); out.Hedge != HedgeNone || out.Served != 1000 {
+			t.Fatalf("warmup %d: %+v", i, out)
+		}
+	}
+	// Win: primary 2000 outlives the 1000 delay; hedge finishes at
+	// 1000+400=1400. Served 1400; the primary's 1400µs of work is waste.
+	out := do(3, 2, 0.4)
+	if out.Hedge != HedgeWin || out.Served != 1400 || out.Wasted != 1400 || out.Charged != 1800 {
+		t.Fatalf("win: %+v", out)
+	}
+	// Cancel: primary 1004 (1000 × 1.005, truncated to whole µs) beats the
+	// hedge's 10µs startup window (ring now holds a 2000; p50 of
+	// [1000,1000,1000,2000] is still 1000).
+	out = do(4, 1.005, 1)
+	if out.Hedge != HedgeCancel || out.Served != 1004 || out.Wasted != 10 || out.Charged != 1014 {
+		t.Fatalf("cancel: %+v", out)
+	}
+	// Loss: hedge would finish at 1000+2000=3000, after the primary's
+	// 2000. Served 2000; the hedge's 1000µs beyond its launch is waste.
+	out = do(5, 2, 2)
+	if out.Hedge != HedgeLoss || out.Served != 2000 || out.Wasted != 1000 || out.Charged != 3000 {
+		t.Fatalf("loss: %+v", out)
+	}
+
+	s := w.Stats()
+	if s.HedgesFired != 3 || s.HedgeWins != 1 || s.HedgeLosses != 1 || s.HedgeCancels != 1 {
+		t.Fatalf("hedge counters: %+v", s)
+	}
+	if s.HedgeWins+s.HedgeLosses+s.HedgeCancels != s.HedgesFired {
+		t.Fatalf("accounting identity broken: %+v", s)
+	}
+}
+
+func TestTimelineRecordsEveryAttemptInOrder(t *testing.T) {
+	cat := testCatalog(t, 2)
+	tl := NewTimeline()
+	w := New(core.NewOptimizer(nil, core.Config{}), Config{
+		Latency: flatLatency, Clock: NewVirtualClock(7), Observer: tl,
+	})
+	req := Request{Tenant: "a", Query: "q", Core: coreReq(cat, joinSQL)}
+	w.Do(req)
+	w.Do(req)
+	if err := w.Observe("a", "q", core.Feedback{SQL: joinSQL, Cat: cat, Sizes: map[string]float64{"t0|t1": 50}}); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := tl.Events()
+	if len(evs) != 3 || tl.Len() != 3 {
+		t.Fatalf("want 3 events, got %d", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("seq not dense: %+v", evs)
+		}
+		if ev.Start != 7 || ev.Tenant != "a" {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+	}
+	if evs[0].Decision != DecisionCold || evs[1].Decision != DecisionHit || evs[2].Kind != "observe" {
+		t.Fatalf("decisions wrong: %+v", evs)
+	}
+	if evs[1].Duration != flatLatency.Hit || evs[2].Duration != flatLatency.Observe {
+		t.Fatalf("durations wrong: %+v", evs)
+	}
+}
+
+// TestWrapperDeterminism: the same request sequence against two fresh
+// wrappers settles to identical stats and identical timelines.
+func TestWrapperDeterminism(t *testing.T) {
+	cat := testCatalog(t, 3)
+	run := func() (Stats, []Event) {
+		clock := NewVirtualClock(0)
+		tl := NewTimeline()
+		w := New(core.NewOptimizer(nil, core.Config{}), Config{
+			Budget:   BudgetSpec{Capacity: 2000, RefillPerSec: 500_000},
+			Breaker:  BreakerSpec{Window: 6, Threshold: 0.5, MinSamples: 4, Cooldown: 2000},
+			Hedge:    HedgeSpec{Quantile: 0.5, MinSamples: 2, Startup: 10},
+			Latency:  flatLatency,
+			Clock:    clock,
+			Observer: tl,
+		})
+		factors := []float64{1, 4, 1, 16, 4, 64, 1, 256, 16, 1}
+		for i, f := range factors {
+			clock.Set(Micros(i) * 500)
+			w.Do(Request{Tenant: "a", Query: "q", Core: coreReq(scaled(t, cat, f), joinSQL),
+				PrimaryJitter: 1 + float64(i%3), HedgeJitter: 1})
+		}
+		return w.Stats(), tl.Events()
+	}
+	s1, e1 := run()
+	s2, e2 := run()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("stats diverged:\n%+v\nvs\n%+v", s1, s2)
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("timelines diverged")
+	}
+}

@@ -1,0 +1,99 @@
+package resilience
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Event is one timeline entry: everything the wrapper decided about one
+// Optimize or Observe attempt, stamped with the injected clock. Events are
+// what an incident debugger replays — "which policy served this tenant at
+// t, under what budget and breaker state, and what did it cost".
+type Event struct {
+	// Seq is the global admission order (atomic counter, dense from 1).
+	Seq uint64 `json:"seq"`
+	// Kind is "optimize" or "observe".
+	Kind string `json:"kind"`
+	// Tenant and Query identify the request.
+	Tenant string `json:"tenant"`
+	Query  string `json:"query,omitempty"`
+	// Decision is the policy that served the request (Decision* consts).
+	Decision Decision `json:"decision,omitempty"`
+	// Start is the virtual time the wrapper took the request; Duration is
+	// the modeled latency the caller experienced.
+	Start    Micros `json:"start"`
+	Duration Micros `json:"duration"`
+	// CacheHit / Degraded describe what was served.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
+	// Hedge is the hedge outcome, if one fired.
+	Hedge HedgeOutcome `json:"hedge,omitempty"`
+	// Breaker is the tenant's breaker state at decision time.
+	Breaker string `json:"breaker,omitempty"`
+	// BudgetTokens is the tenant's token balance after settlement.
+	BudgetTokens Micros `json:"budget_tokens"`
+	// Err is the request error, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// Observer receives every wrapper event. Record is called outside the
+// wrapper's mutex — after the decision settles — so a slow observer delays
+// only its own request's caller, never other tenants; implementations must
+// be concurrency-safe.
+type Observer interface {
+	Record(Event)
+}
+
+// timelineShards keeps shard-lock contention negligible next to the
+// wrapper's own critical section (the race satellite's contract).
+const timelineShards = 16
+
+// Timeline is the standard Observer: an append-only, sharded event log.
+// The wrapper stamps Seq inside its settlement critical section, so a
+// sorted-by-Seq read reconstructs the global settlement order regardless
+// of which shard a tenant's events landed in.
+type Timeline struct {
+	shards [timelineShards]struct {
+		mu     sync.Mutex
+		events []Event
+	}
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Record appends the event to its tenant's shard.
+func (t *Timeline) Record(ev Event) {
+	h := fnv.New32a()
+	h.Write([]byte(ev.Tenant))
+	s := &t.shards[h.Sum32()%timelineShards]
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Timeline) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.events)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Events returns every event merged across shards in Seq order.
+func (t *Timeline) Events() []Event {
+	var out []Event
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		out = append(out, s.events...)
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
