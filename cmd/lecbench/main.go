@@ -39,6 +39,7 @@ func main() {
 		useCache  = flag.Bool("cache", false, "throughput mode: memoize plans in an LRU cache")
 		cacheSize = flag.Int("cachesize", 4096, "throughput/workload mode: plan-cache capacity")
 		qps       = flag.Float64("qps", 0, "throughput mode: offered load limit in plans/sec (0 = unlimited)")
+		maxAllocs = flag.Float64("maxallocs", 0, "throughput mode: fail when allocs/op exceeds this (0 = no gate) — the CI allocation regression gate")
 		seed      = flag.Int64("seed", 1, "throughput/workload mode: workload seed")
 		alg       = flag.String("alg", "algorithm-c", "throughput mode: optimization algorithm")
 
@@ -104,6 +105,7 @@ func main() {
 		cfg := throughputConfig{
 			Workers: *workers, Requests: *requests, Distinct: *distinct,
 			Cache: *useCache, CacheSize: *cacheSize, QPS: *qps, Seed: *seed, Alg: *alg,
+			MaxAllocs: *maxAllocs,
 		}
 		if _, err := runThroughput(cfg, artifact("BENCH_batch.json"), os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "lecbench:", err)

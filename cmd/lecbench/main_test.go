@@ -106,6 +106,59 @@ func TestThroughputBadConfig(t *testing.T) {
 	}
 }
 
+// TestThroughputAllocGate pins the -maxallocs behavior: a generous budget
+// passes, an impossible one fails with the gate's error, and the artifact
+// is still written on a gate failure so the regression can be diagnosed.
+func TestThroughputAllocGate(t *testing.T) {
+	cfg := throughputCfg(2, 60, 12, true)
+	cfg.MaxAllocs = 1e6
+	if _, err := runThroughput(cfg, "", io.Discard); err != nil {
+		t.Fatalf("generous gate failed: %v", err)
+	}
+	cfg.MaxAllocs = 0.001
+	path := filepath.Join(t.TempDir(), "BENCH_batch.json")
+	_, err := runThroughput(cfg, path, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "allocation gate") {
+		t.Fatalf("impossible gate did not trip: %v", err)
+	}
+	if _, statErr := os.Stat(path); statErr != nil {
+		t.Fatalf("gate failure should still write the artifact: %v", statErr)
+	}
+}
+
+// TestCommittedArtifactMeetsHotPathTargets gates the committed
+// BENCH_batch.json against the PR's acceptance thresholds: no errors, a
+// warm hit rate, allocs/op at least 5x below the pre-hot-path 87.91, and
+// plans/sec at least 2x above the pre-hot-path 70,937. Regenerate with
+//
+//	go run ./cmd/lecbench -workers=8 -cache -requests=2000
+//
+// if a legitimate change moves the numbers. (The figures are from the
+// reference machine that commits the artifact; the test reads the file,
+// not the current host's speed, so it is stable across machine classes.)
+func TestCommittedArtifactMeetsHotPathTargets(t *testing.T) {
+	buf, err := os.ReadFile("../../BENCH_batch.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep throughputReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("committed artifact has %d errors", rep.Errors)
+	}
+	if rep.CacheHitRate < 0.9 {
+		t.Fatalf("committed hit rate %.3f < 0.9", rep.CacheHitRate)
+	}
+	if rep.AllocsPerOp > 87.91/5 {
+		t.Fatalf("committed allocs/op %.2f misses the 5x target (%.2f)", rep.AllocsPerOp, 87.91/5)
+	}
+	if rep.PlansPerSec < 2*70937 {
+		t.Fatalf("committed plans/sec %.0f misses the 2x target (%d)", rep.PlansPerSec, 2*70937)
+	}
+}
+
 // TestThroughputCacheSpeedup is the ISSUE acceptance check: the cached
 // 8-worker pipeline must deliver at least 3x the plans/sec of the serial
 // uncached one on the same repeated workload. On a single-core host the win

@@ -25,6 +25,10 @@ type throughputConfig struct {
 	QPS       float64 `json:"qps_limit"`
 	Seed      int64   `json:"seed"`
 	Alg       string  `json:"alg"`
+	// MaxAllocs, when positive, turns the run into an allocation
+	// regression gate: the run fails if allocs/op exceeds it. The CI
+	// bench-smoke lane sets it just above the committed artifact's figure.
+	MaxAllocs float64 `json:"max_allocs_per_op,omitempty"`
 }
 
 // throughputReport is the BENCH_batch.json artifact: the perf trajectory
@@ -184,6 +188,12 @@ func runThroughput(cfg throughputConfig, jsonPath string, w io.Writer) (throughp
 			return rep, err
 		}
 		fmt.Fprintf(w, "  wrote %s\n", jsonPath)
+	}
+	// Gate after writing the artifact so a failing run still leaves its
+	// numbers on disk for diagnosis.
+	if cfg.MaxAllocs > 0 && rep.AllocsPerOp > cfg.MaxAllocs {
+		return rep, fmt.Errorf("allocation gate: %.2f allocs/op exceeds -maxallocs=%.2f",
+			rep.AllocsPerOp, cfg.MaxAllocs)
 	}
 	return rep, nil
 }

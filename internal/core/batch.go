@@ -58,8 +58,22 @@ func (s *Scenario) CacheKeyBanded(alg Algorithm, driftBand float64) (string, err
 // under the matching-signed margin, exactly as their across-the-boundary
 // neighbor does under margin 0.
 func (s *Scenario) CacheKeyBandedMargin(alg Algorithm, driftBand, margin float64) (string, error) {
-	if err := s.check(); err != nil {
+	var key [plancache.KeyLen]byte
+	b, err := s.AppendCacheKey(key[:0], alg, driftBand, margin)
+	if err != nil {
 		return "", err
+	}
+	return string(b), nil
+}
+
+// AppendCacheKey appends the CacheKeyBandedMargin key's plancache.KeyLen
+// bytes to dst — the allocation-free form for hot paths that keep a
+// reusable buffer and look plans up with Cache.GetBytes/ProbeBytes. Both
+// forms build byte-identical keys, so string and byte lookups interleave
+// freely on one cache.
+func (s *Scenario) AppendCacheKey(dst []byte, alg Algorithm, driftBand, margin float64) ([]byte, error) {
+	if err := s.check(); err != nil {
+		return dst, err
 	}
 	// Hash only the inputs this algorithm reads: TopC steers Algorithm B
 	// alone and the selectivity/size laws Algorithm D alone, so folding
@@ -73,7 +87,7 @@ func (s *Scenario) CacheKeyBandedMargin(alg Algorithm, driftBand, margin float64
 	if alg != AlgD {
 		selLaws, sizeLaws = nil, nil
 	}
-	return plancache.SignatureMargin(s.Cat, s.Query, s.Env, selLaws, sizeLaws,
+	return plancache.AppendKeyMargin(dst, s.Cat, s.Query, s.Env, selLaws, sizeLaws,
 		s.Opts, topC, alg.String(), driftBand, margin), nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -220,15 +221,58 @@ func (o *Optimizer) resolveQuery(reqCat *catalog.Catalog, prep *Prepared, blk *q
 	return cat, blk, nil
 }
 
+// scenarioPool recycles the request-resolution Scenario structs of the
+// serving hot path: a warm Optimize resolves, serves from the cache and
+// releases without ever touching the heap. Legacy pre-built scenarios
+// (Request.scenario) are caller-owned and never pooled.
+var scenarioPool = sync.Pool{New: func() any { return new(Scenario) }}
+
+// keyBufPool recycles plancache.KeyLen-capacity cache-key buffers for the
+// byte-keyed lookups (Cache.GetBytes/ProbeBytes).
+var keyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, plancache.KeyLen)
+	return &b
+}}
+
+func releaseScenario(sc *Scenario) {
+	*sc = Scenario{}
+	scenarioPool.Put(sc)
+}
+
 // scenario resolves a request into the internal Scenario form, folding in
-// handle defaults and feedback hints.
+// handle defaults and feedback hints. The returned scenario is heap-owned
+// by the caller (Simulate, Tournament — paths that hold it past a single
+// optimization); the hot paths use scenarioFor instead.
 func (o *Optimizer) scenario(req Request) (*Scenario, error) {
 	if req.scenario != nil {
 		return req.scenario, nil
 	}
+	sc := new(Scenario)
+	if err := o.fillScenario(sc, req); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// scenarioFor is scenario backed by scenarioPool: pooled reports whether
+// the caller must releaseScenario once the report is extracted (false for
+// the legacy caller-owned short circuit).
+func (o *Optimizer) scenarioFor(req Request) (sc *Scenario, pooled bool, err error) {
+	if req.scenario != nil {
+		return req.scenario, false, nil
+	}
+	sc = scenarioPool.Get().(*Scenario)
+	if err := o.fillScenario(sc, req); err != nil {
+		releaseScenario(sc)
+		return nil, false, err
+	}
+	return sc, true, nil
+}
+
+func (o *Optimizer) fillScenario(sc *Scenario, req Request) error {
 	cat, blk, err := o.resolveQuery(req.Cat, req.Prepared, req.Query, req.SQL)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	opts := o.cfg.PlanSpace
 	if req.Opts != nil {
@@ -238,7 +282,10 @@ func (o *Optimizer) scenario(req Request) (*Scenario, error) {
 	if topC == 0 {
 		topC = o.cfg.TopC
 	}
-	if o.fb != nil {
+	// Observations() is a lock-free atomic: until something has been
+	// observed, requests skip building the feedback query key entirely
+	// (an empty store can have no hints for any key).
+	if o.fb != nil && o.fb.Observations() > 0 {
 		if hints := o.fb.Hints(o.queryKey(cat, blk)); len(hints) > 0 {
 			merged := make(map[string]float64, len(hints)+len(opts.SizeHints))
 			for k, v := range hints {
@@ -250,21 +297,25 @@ func (o *Optimizer) scenario(req Request) (*Scenario, error) {
 			opts.SizeHints = merged
 		}
 	}
-	return &Scenario{
+	*sc = Scenario{
 		Cat: cat, Query: blk, Env: req.Env,
 		SelLaws: req.SelLaws, SizeLaws: req.SizeLaws,
 		Opts: opts, TopC: topC,
-	}, nil
+	}
+	return nil
 }
 
 // Optimize runs one request through the cache-then-optimize path.
 func (o *Optimizer) Optimize(req Request) (Response, error) {
 	start := time.Now()
-	sc, err := o.scenario(req)
+	sc, pooled, err := o.scenarioFor(req)
 	if err != nil {
 		return Response{Err: err}, err
 	}
 	rep, hit, err := o.runOne(sc, req.Alg)
+	if pooled {
+		releaseScenario(sc) // reports never reference the scenario
+	}
 	if err != nil {
 		return Response{Err: err}, err
 	}
@@ -287,15 +338,21 @@ func (o *Optimizer) Cached(req Request, margins ...float64) (Response, bool) {
 	if o.cache == nil {
 		return Response{}, false
 	}
-	sc, err := o.scenario(req)
+	sc, pooled, err := o.scenarioFor(req)
 	if err != nil {
 		return Response{Err: err}, false
 	}
-	key, err := sc.CacheKeyBanded(req.Alg, o.band)
+	if pooled {
+		defer releaseScenario(sc)
+	}
+	kb := keyBufPool.Get().(*[]byte)
+	defer keyBufPool.Put(kb)
+	key, err := sc.AppendCacheKey((*kb)[:0], req.Alg, o.band, 0)
+	*kb = key
 	if err != nil {
 		return Response{Err: err}, false
 	}
-	if rep, ok := o.cache.Probe(key); ok {
+	if rep, ok := o.cache.ProbeBytes(key); ok {
 		return Response{PlanReport: rep, CacheHit: true}, true
 	}
 	if o.band <= 1 {
@@ -304,13 +361,16 @@ func (o *Optimizer) Cached(req Request, margins ...float64) (Response, bool) {
 	if len(margins) == 0 {
 		margins = []float64{BandMargin}
 	}
+	pb := keyBufPool.Get().(*[]byte)
+	defer keyBufPool.Put(pb)
 	for _, m := range margins {
-		for _, margin := range []float64{-m, m} {
-			probe, err := sc.CacheKeyBandedMargin(req.Alg, o.band, margin)
-			if err != nil || probe == key {
+		for _, margin := range [2]float64{-m, m} {
+			probe, err := sc.AppendCacheKey((*pb)[:0], req.Alg, o.band, margin)
+			*pb = probe
+			if err != nil || bytes.Equal(probe, key) {
 				continue
 			}
-			if rep, ok := o.cache.Probe(probe); ok {
+			if rep, ok := o.cache.ProbeBytes(probe); ok {
 				return Response{PlanReport: rep, CacheHit: true}, true
 			}
 		}
@@ -319,16 +379,22 @@ func (o *Optimizer) Cached(req Request, margins ...float64) (Response, bool) {
 }
 
 // runOne serves one scenario from the plan cache or optimizes and caches.
+// The cache key lives in a pooled buffer and the lookup is byte-keyed, so
+// a warm hit — the dominant serving outcome — allocates nothing; the key
+// string materializes only on the miss path's Put.
 func (o *Optimizer) runOne(sc *Scenario, alg Algorithm) (PlanReport, bool, error) {
 	if o.cache == nil {
 		rep, err := sc.Optimize(alg)
 		return rep, false, err
 	}
-	key, err := sc.CacheKeyBanded(alg, o.band)
+	kb := keyBufPool.Get().(*[]byte)
+	defer keyBufPool.Put(kb)
+	key, err := sc.AppendCacheKey((*kb)[:0], alg, o.band, 0)
+	*kb = key
 	if err != nil {
 		return PlanReport{}, false, err
 	}
-	if rep, ok := o.cache.Get(key); ok {
+	if rep, ok := o.cache.GetBytes(key); ok {
 		return rep, true, nil
 	}
 	if rep, ok := o.probeAdjacent(sc, alg, key); ok {
@@ -338,7 +404,7 @@ func (o *Optimizer) runOne(sc *Scenario, alg Algorithm) (PlanReport, bool, error
 	if err != nil {
 		return PlanReport{}, false, err
 	}
-	o.cache.Put(key, rep)
+	o.cache.Put(string(key), rep)
 	return rep, false, nil
 }
 
@@ -348,17 +414,20 @@ func (o *Optimizer) runOne(sc *Scenario, alg Algorithm) (PlanReport, bool, error
 // matching-signed margin, exactly as its neighbor did under margin 0. A
 // found report is re-cached under the primary key so the new band serves
 // itself from then on.
-func (o *Optimizer) probeAdjacent(sc *Scenario, alg Algorithm, primary string) (PlanReport, bool) {
+func (o *Optimizer) probeAdjacent(sc *Scenario, alg Algorithm, primary []byte) (PlanReport, bool) {
 	if o.band <= 1 {
 		return PlanReport{}, false
 	}
-	for _, margin := range []float64{-BandMargin, BandMargin} {
-		probe, err := sc.CacheKeyBandedMargin(alg, o.band, margin)
-		if err != nil || probe == primary {
+	pb := keyBufPool.Get().(*[]byte)
+	defer keyBufPool.Put(pb)
+	for _, margin := range [2]float64{-BandMargin, BandMargin} {
+		probe, err := sc.AppendCacheKey((*pb)[:0], alg, o.band, margin)
+		*pb = probe
+		if err != nil || bytes.Equal(probe, primary) {
 			continue
 		}
-		if rep, ok := o.cache.Probe(probe); ok {
-			o.cache.Put(primary, rep)
+		if rep, ok := o.cache.ProbeBytes(probe); ok {
+			o.cache.Put(string(primary), rep)
 			return rep, true
 		}
 	}
@@ -383,14 +452,22 @@ func (o *Optimizer) OptimizeBatch(reqs []Request) []Response {
 		return out
 	}
 	scs := make([]*Scenario, len(reqs))
+	pooled := make([]bool, len(reqs))
 	for i := range reqs {
-		sc, err := o.scenario(reqs[i])
+		sc, p, err := o.scenarioFor(reqs[i])
 		if err != nil {
 			out[i] = Response{Err: err}
 			continue
 		}
-		scs[i] = sc
+		scs[i], pooled[i] = sc, p
 	}
+	defer func() {
+		for i, sc := range scs {
+			if pooled[i] && sc != nil {
+				releaseScenario(sc)
+			}
+		}
+	}()
 	workers := pool.Workers(o.cfg.Workers, len(reqs))
 	damp := func(sc *Scenario) *Scenario {
 		if workers > 1 && sc.Opts.Workers == 0 {
@@ -431,17 +508,24 @@ func (o *Optimizer) OptimizeBatch(reqs []Request) []Response {
 	}
 	var keys []string
 	groups := make(map[string]*group)
+	kb := keyBufPool.Get().(*[]byte)
+	pb := keyBufPool.Get().(*[]byte)
 	for i := range reqs {
 		if scs[i] == nil {
 			continue
 		}
-		k, err := scs[i].CacheKeyBanded(reqs[i].Alg, o.band)
+		k, err := scs[i].AppendCacheKey((*kb)[:0], reqs[i].Alg, o.band, 0)
+		*kb = k
 		if err != nil {
 			out[i] = Response{Err: err}
+			if pooled[i] {
+				releaseScenario(scs[i])
+				pooled[i] = false
+			}
 			scs[i] = nil
 			continue
 		}
-		if g, ok := groups[k]; ok {
+		if g, ok := groups[string(k)]; ok {
 			g.dups = append(g.dups, i)
 			g.dupKeys = append(g.dupKeys, "")
 			continue
@@ -452,26 +536,27 @@ func (o *Optimizer) OptimizeBatch(reqs []Request) []Response {
 		// sequential Optimize would return), never a neighbor's. The gate
 		// is an uncounted Probe; the group's worker does the counted Get.
 		if o.band > 1 {
-			if _, cached := o.cache.Probe(k); !cached {
-				for _, margin := range []float64{-BandMargin, BandMargin} {
-					probe, err := scs[i].CacheKeyBandedMargin(reqs[i].Alg, o.band, margin)
-					if err != nil || probe == k {
+			if _, cached := o.cache.ProbeBytes(k); !cached {
+				for _, margin := range [2]float64{-BandMargin, BandMargin} {
+					probe, err := scs[i].AppendCacheKey((*pb)[:0], reqs[i].Alg, o.band, margin)
+					*pb = probe
+					if err != nil || bytes.Equal(probe, k) {
 						continue
 					}
 					// A same-batch group across the boundary: ride along
 					// as a cross-band dup (the answer is written through
 					// under this request's own key below).
-					if g, ok := groups[probe]; ok {
+					if g, ok := groups[string(probe)]; ok {
 						g.dups = append(g.dups, i)
-						g.dupKeys = append(g.dupKeys, k)
+						g.dupKeys = append(g.dupKeys, string(k))
 						joined = true
 						break
 					}
 					// A prior-batch entry across the boundary: alias it to
 					// the primary key so this group's worker (and every
 					// future request in the new band) hits.
-					if rep, ok := o.cache.Probe(probe); ok {
-						o.cache.Put(k, rep)
+					if rep, ok := o.cache.ProbeBytes(probe); ok {
+						o.cache.Put(string(k), rep)
 						break
 					}
 				}
@@ -480,9 +565,12 @@ func (o *Optimizer) OptimizeBatch(reqs []Request) []Response {
 		if joined {
 			continue
 		}
-		groups[k] = &group{rep: i}
-		keys = append(keys, k)
+		key := string(k)
+		groups[key] = &group{rep: i}
+		keys = append(keys, key)
 	}
+	keyBufPool.Put(kb)
+	keyBufPool.Put(pb)
 	pool.Run(len(keys), pool.Workers(workers, len(keys)), func(gi int) error {
 		key := keys[gi]
 		g := groups[key]

@@ -113,6 +113,12 @@ func (c *Chain) States() []float64 {
 	return append([]float64(nil), c.states...)
 }
 
+// State returns the i-th state value (ascending order, as in States) —
+// the allocation-free accessor for hot loops that would otherwise copy
+// the whole state slice. It panics on out-of-range indexes, mirroring
+// slice semantics.
+func (c *Chain) State(i int) float64 { return c.states[i] }
+
 // Prob returns the one-step transition probability from state i to state j
 // (states in ascending order, as returned by States). It panics on
 // out-of-range indexes, mirroring slice semantics.

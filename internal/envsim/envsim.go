@@ -37,14 +37,18 @@ func (e Env) Validate() error {
 		return ErrNoEnv
 	}
 	if e.Chain != nil {
-		// Every support value must be a chain state.
-		states := map[float64]bool{}
-		for _, s := range e.Chain.States() {
-			states[s] = true
-		}
+		// Every support value must be a chain state. Both sequences are
+		// ascending, so a single merge pass checks containment without
+		// building a set — Validate runs per request on the serving hot
+		// path and must not allocate.
+		j, n := 0, e.Chain.Len()
 		for i := 0; i < e.Mem.Len(); i++ {
-			if !states[e.Mem.Value(i)] {
-				return fmt.Errorf("envsim: initial law value %v is not a chain state", e.Mem.Value(i))
+			v := e.Mem.Value(i)
+			for j < n && e.Chain.State(j) < v {
+				j++
+			}
+			if j == n || e.Chain.State(j) != v {
+				return fmt.Errorf("envsim: initial law value %v is not a chain state", v)
 			}
 		}
 	}

@@ -19,10 +19,12 @@
 package feedback
 
 import (
+	"hash/maphash"
 	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultAlpha is the EWMA weight of a new observation.
@@ -38,15 +40,30 @@ func SetKey(tables ...string) string {
 	return strings.Join(s, "+")
 }
 
+// shardCount must be a power of two; shards are selected by the low bits
+// of the query key's hash, the same layout as the sharded plan cache.
+const shardCount = 16
+
 // Store accumulates executed-size observations per query. Queries are
 // identified by an opaque key chosen by the caller (the Optimizer service
 // uses canonical query shape + catalog fingerprint).
+//
+// The store is sharded by query-key hash: an Observe for one query only
+// contends with readers and writers of queries in the same shard, so the
+// engine-in-the-loop serving pattern — every executed request Observes
+// while every optimization reads Hints — no longer serializes on one
+// RWMutex. The observation count is a store-global atomic, which gives
+// the serving layer a lock-free "has anything been observed yet?" gate.
 type Store struct {
-	alpha float64
+	alpha  float64
+	seed   maphash.Seed
+	obs    atomic.Uint64
+	shards [shardCount]storeShard
+}
 
+type storeShard struct {
 	mu      sync.RWMutex
 	queries map[string]map[string]float64 // query key -> set key -> ewma pages
-	obs     uint64
 }
 
 // NewStore returns an empty store. alpha is the EWMA weight of each new
@@ -55,7 +72,15 @@ func NewStore(alpha float64) *Store {
 	if alpha <= 0 || alpha > 1 {
 		alpha = DefaultAlpha
 	}
-	return &Store{alpha: alpha, queries: make(map[string]map[string]float64)}
+	s := &Store{alpha: alpha, seed: maphash.MakeSeed()}
+	for i := range s.shards {
+		s.shards[i].queries = make(map[string]map[string]float64)
+	}
+	return s
+}
+
+func (s *Store) shardOf(query string) *storeShard {
+	return &s.shards[maphash.String(s.seed, query)&(shardCount-1)]
 }
 
 // Observe folds one execution's observed sizes (SetKey -> pages) into the
@@ -64,12 +89,13 @@ func (s *Store) Observe(query string, sizes map[string]float64) {
 	if len(sizes) == 0 {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m := s.queries[query]
+	sh := s.shardOf(query)
+	folded := uint64(0)
+	sh.mu.Lock()
+	m := sh.queries[query]
 	if m == nil {
 		m = make(map[string]float64, len(sizes))
-		s.queries[query] = m
+		sh.queries[query] = m
 	}
 	for k, v := range sizes {
 		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
@@ -80,7 +106,11 @@ func (s *Store) Observe(query string, sizes map[string]float64) {
 		} else {
 			m[k] = v
 		}
-		s.obs++
+		folded++
+	}
+	sh.mu.Unlock()
+	if folded > 0 {
+		s.obs.Add(folded)
 	}
 }
 
@@ -89,9 +119,10 @@ func (s *Store) Observe(query string, sizes map[string]float64) {
 // hints — and therefore plan-cache keys that hash them — stable once the
 // EWMA has converged.
 func (s *Store) Hints(query string) map[string]float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	m := s.queries[query]
+	sh := s.shardOf(query)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	m := sh.queries[query]
 	if len(m) == 0 {
 		return nil
 	}
@@ -104,16 +135,21 @@ func (s *Store) Hints(query string) map[string]float64 {
 
 // Queries returns the number of distinct queries with observations.
 func (s *Store) Queries() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.queries)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.queries)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// Observations returns the total number of folded size observations.
+// Observations returns the total number of folded size observations. It is
+// lock-free, so hot paths can use it to skip per-request Hints lookups
+// (and their query-key construction) until something has been observed.
 func (s *Store) Observations() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.obs
+	return s.obs.Load()
 }
 
 // RoundSig rounds a positive value to two significant decimal figures

@@ -83,6 +83,7 @@ func Analyzers() []*Analyzer {
 		FingerprintPurityAnalyzer,
 		ErrDropAnalyzer,
 		PaperModelAnalyzer,
+		ArenaEscapeAnalyzer,
 	}
 }
 

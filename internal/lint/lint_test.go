@@ -63,6 +63,12 @@ func TestPaperModelFixture(t *testing.T) {
 	fixture(t, "lecopt/internal/experiments", "papermodel")
 }
 
+// TestArenaEscapeFixture seeds the use-after-reset the pooled DP scratch
+// makes possible: a raw arena node leaking into a Result.
+func TestArenaEscapeFixture(t *testing.T) {
+	fixture(t, "lecopt/internal/optimizer", "arenaescape")
+}
+
 // moduleOnce loads and type-checks the real module once per test binary.
 var moduleOnce = sync.OnceValues(func() (*Module, error) {
 	return LoadModule(".")
@@ -114,6 +120,7 @@ func TestModuleCoverage(t *testing.T) {
 		"lecopt/internal/feedback",
 		"lecopt/internal/optimizer",
 		"lecopt/internal/plancache",
+		"lecopt/internal/pool",
 		"lecopt/internal/histo",
 		"lecopt/internal/query",
 		"lecopt/internal/resilience",
@@ -131,7 +138,7 @@ func TestModuleCoverage(t *testing.T) {
 // TestRegistry pins the analyzer roster: the suite's invariants must all
 // stay registered, and names must be unique (directives key on them).
 func TestRegistry(t *testing.T) {
-	want := []string{"determinism", "distimmut", "optguard", "fppurity", "errdrop", "papermodel"}
+	want := []string{"determinism", "distimmut", "optguard", "fppurity", "errdrop", "papermodel", "arenaescape"}
 	got := map[string]bool{}
 	for _, a := range Analyzers() {
 		if got[a.Name] {

@@ -1,0 +1,93 @@
+package optimizer
+
+// Arena-escape fixture: minimal shadows of the pooled DP scratch types.
+// finishGood deep-copies the winner; finishBad and drainBad leak raw arena
+// pointers into Results and are the seeded violations. finishHeap shares a
+// node without Clone but never touches the scratch machinery, so it must
+// stay silent — the heap-allocating passes own their nodes.
+
+// Node stands in for plan.Node.
+type Node struct {
+	Left, Right *Node
+}
+
+// Clone deep-copies the node, as the real plan.Node.Clone does.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	out := *n
+	out.Left = n.Left.Clone()
+	out.Right = n.Right.Clone()
+	return &out
+}
+
+// Result stands in for the real optimizer Result.
+type Result struct {
+	Plan *Node
+	EC   float64
+}
+
+type entry struct {
+	node  *Node
+	score float64
+}
+
+type dpSlot struct {
+	e  [2]entry
+	ok [2]bool
+}
+
+type nodeArena struct {
+	chunks [][]Node
+}
+
+func (a *nodeArena) alloc() *Node {
+	if len(a.chunks) == 0 {
+		a.chunks = append(a.chunks, make([]Node, 16))
+	}
+	return &a.chunks[0][0]
+}
+
+type dpWorker struct {
+	arena nodeArena
+}
+
+type dpScratch struct {
+	slots   []dpSlot
+	workers []dpWorker
+}
+
+func getScratch() *dpScratch { return new(dpScratch) }
+
+// finishGood returns the winner the only safe way.
+func finishGood(sl *dpSlot) Result {
+	best := sl.e[0]
+	return Result{Plan: best.node.Clone(), EC: best.score}
+}
+
+// finishBad leaks an arena node straight into the Result.
+func finishBad(sl *dpSlot) Result {
+	best := sl.e[0]
+	return Result{Plan: best.node, EC: best.score} // want `must never escape into a Result`
+}
+
+// drainBad builds a node from a worker's arena and returns it raw.
+func drainBad(w *dpWorker) Result {
+	n := w.arena.alloc()
+	return Result{Plan: n} // want `must never escape into a Result`
+}
+
+// errResult returns an empty Result from a scratch-touching function;
+// no Plan field is set, so nothing is reported.
+func errResult() (Result, error) {
+	sc := getScratch()
+	_ = sc
+	return Result{}, nil
+}
+
+// finishHeap shares a heap node without Clone but never touches the
+// scratch, so the analyzer must not fire.
+func finishHeap(e entry) Result {
+	return Result{Plan: e.node, EC: e.score}
+}

@@ -36,11 +36,12 @@ func AlgorithmC(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.D
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := c.dpBest(lawScorer{staticLaws(mem, c.n), c.opts.CostModel})
+	laws := staticLaws(mem, c.n)
+	res, err := c.dpBest(lawScorer{laws, c.opts.CostModel})
 	if err != nil {
 		return Result{}, err
 	}
-	return withPhaseEC(res, c.opts.CostModel, staticLaws(mem, c.n))
+	return withPhaseEC(res, c.opts.CostModel, laws)
 }
 
 // AlgorithmCDynamic computes the LEC left-deep plan when memory evolves
@@ -96,8 +97,15 @@ func AlgorithmA(cat *catalog.Catalog, blk *query.Block, opts Options, mem dist.D
 	}
 	points := bucketPoints(mem)
 	runs := make([]cand, len(points))
-	err = pool.Run(len(points), c.opts.workers(len(points)), func(i int) error {
-		r, err := c.dpBest(pointScorer{points[i], c.opts.CostModel})
+	outer := c.opts.workers(len(points))
+	inner := c.opts.Workers
+	if outer > 1 {
+		// The bucket fan-out already saturates the requested concurrency;
+		// nested rank-parallel DPs would only fight it for cores.
+		inner = 1
+	}
+	err = pool.Run(len(points), outer, func(i int) error {
+		r, err := c.dpBestW(pointScorer{points[i], c.opts.CostModel}, inner)
 		if err != nil {
 			return err
 		}

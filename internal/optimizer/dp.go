@@ -6,6 +6,7 @@ import (
 	"lecopt/internal/cost"
 	"lecopt/internal/dist"
 	"lecopt/internal/plan"
+	"lecopt/internal/pool"
 )
 
 // scorer abstracts how a join or sort is costed in one execution phase —
@@ -103,18 +104,26 @@ func (c *ctx) joinOutputOrder(method cost.JoinMethod, j int, leftMask uint64, le
 	}
 }
 
-// leafEntries builds the access-path entries for one table. Materialized
-// access paths (index scans, filtered heap scans) score their access
-// cost; an unfiltered heap scan scores 0 — its base read is part of the
-// consuming join's formula (see plan.Node.Materialized).
+// leafEntry builds the access-path entry for one access path of a table.
+// Materialized access paths (index scans, filtered heap scans) score their
+// access cost; an unfiltered heap scan scores 0 — its base read is part of
+// the consuming join's formula (see plan.Node.Materialized).
+func leafEntry(ti *tableInfo, ac accessCand) entry {
+	score := ac.io
+	if !ac.node.Materialized() {
+		score = 0
+	}
+	return entry{node: ac.node, score: score, pages: ti.pages, order: ac.order}
+}
+
+// leafEntries builds all access-path entries for one table — the
+// slice-returning form used by the top-c, distributional and exhaustive
+// passes; the single-plan DP iterates leafEntry directly to stay
+// allocation-free.
 func (c *ctx) leafEntries(ti *tableInfo) []entry {
 	out := make([]entry, 0, len(ti.accesses))
 	for _, ac := range ti.accesses {
-		score := ac.io
-		if !ac.node.Materialized() {
-			score = 0
-		}
-		out = append(out, entry{node: ac.node, score: score, pages: ti.pages, order: ac.order})
+		out = append(out, leafEntry(ti, ac))
 	}
 	return out
 }
@@ -136,85 +145,165 @@ func enforcerScore(s scorer, e entry, phase int) float64 {
 // left-deep plan (Theorem 2.1); with a lawScorer it is Algorithm C and
 // computes the LEC left-deep plan (Theorems 3.3/3.4).
 func (c *ctx) dpBest(s scorer) (Result, error) {
-	full := fullMask(c.n)
-	dp := make([][2]*entry, full+1)
+	return c.dpBestW(s, c.opts.Workers)
+}
 
-	keep := func(mask uint64, e entry) {
-		slot := c.slotOf(e.order)
-		cur := dp[mask][slot]
-		if cur == nil || better(e.score, e.node.Signature(), cur.score, cur.node.Signature()) {
-			ec := e
-			dp[mask][slot] = &ec
-		}
-	}
+// dpBestW is dpBest with an explicit worker count for the subset
+// enumeration (Algorithms A and B pass 1 when their per-bucket fan-out
+// already saturates the requested concurrency). All DP state lives in a
+// pooled scratch: the table holds entries by value, join nodes come from
+// per-worker arenas, and finishRoot deep-copies the winner so nothing in
+// the Result outlives the scratch's release.
+//
+// Parallelism is by rank: every mask of popcount k depends only on masks
+// of strictly smaller popcount, so the masks of one rank can be expanded
+// concurrently — each expandMask call writes dp[mask] alone and reads only
+// finalized smaller ranks. Workers take statically assigned contiguous
+// chunks, so the result is byte-identical to the serial pass for every
+// worker count.
+func (c *ctx) dpBestW(s scorer, workers int) (Result, error) {
+	full := fullMask(c.n)
+	sc := getScratch()
+	defer sc.release()
+	dp := sc.table(int(full) + 1)
 
 	for j := 0; j < c.n; j++ {
-		for _, e := range c.leafEntries(c.tables[j]) {
-			keep(1<<uint(j), e)
+		ti := c.tables[j]
+		for _, ac := range ti.accesses {
+			c.keepSlot(&dp[1<<uint(j)], leafEntry(ti, ac))
 		}
 	}
 
 	for size := 2; size <= c.n; size++ {
+		ms := sc.masks[:0]
 		for mask := uint64(1); mask <= full; mask++ {
-			if bits.OnesCount64(mask) != size {
+			if bits.OnesCount64(mask) == size {
+				ms = append(ms, mask)
+			}
+		}
+		sc.masks = ms
+		w := pool.Workers(workers, len(ms))
+		if w > 1 && len(ms) >= dpParallelMinMasks {
+			chunk := (len(ms) + w - 1) / w
+			nchunks := (len(ms) + chunk - 1) / chunk
+			sc.ensureWorkers(nchunks)
+			err := pool.Run(nchunks, nchunks, func(ci int) error {
+				lo, hi := ci*chunk, (ci+1)*chunk
+				if hi > len(ms) {
+					hi = len(ms)
+				}
+				wk := &sc.workers[ci]
+				for _, mask := range ms[lo:hi] {
+					c.expandMask(dp, mask, s, wk)
+				}
+				return nil
+			})
+			if err != nil {
+				return Result{}, err
+			}
+		} else {
+			sc.ensureWorkers(1)
+			wk := &sc.workers[0]
+			for _, mask := range ms {
+				c.expandMask(dp, mask, s, wk)
+			}
+		}
+	}
+	return c.finishRoot(&dp[full], s)
+}
+
+// expandMask computes dp[mask] from the finalized smaller-rank slots. It
+// writes only dp[mask], which is what makes rank-order parallel
+// enumeration race-free and byte-identical to the serial pass.
+func (c *ctx) expandMask(dp []dpSlot, mask uint64, s scorer, w *dpWorker) {
+	phase := phaseOfMask(mask)
+	w.cands = c.candidatesInto(mask, w.cands[:0])
+	sl := &dp[mask]
+	for _, j := range w.cands {
+		bit := uint64(1) << uint(j)
+		rest := mask &^ bit
+		sigma := c.sigmaBetween(j, rest)
+		for ls := 0; ls < 2; ls++ {
+			if !dp[rest].ok[ls] {
 				continue
 			}
-			phase := phaseOfMask(mask)
-			for _, j := range c.candidates(mask) {
-				bit := uint64(1) << uint(j)
-				rest := mask &^ bit
-				sigma := c.sigmaBetween(j, rest)
-				for _, left := range dp[rest] {
-					if left == nil {
+			left := &dp[rest].e[ls]
+			for rs := 0; rs < 2; rs++ {
+				if !dp[bit].ok[rs] {
+					continue
+				}
+				right := &dp[bit].e[rs]
+				for _, m := range c.opts.Methods {
+					jc := s.joinScore(m, left.pages, right.pages, phase)
+					score := left.score + right.score + jc
+					outPages := c.joinOutPages(mask, c.clampPages(left.pages*right.pages*sigma))
+					order := c.joinOutputOrder(m, j, rest, left.order)
+					slot := c.slotOf(order)
+					if sl.ok[slot] && score > sl.e[slot].score {
+						continue // strictly worse: skip building the node
+					}
+					node := w.arena.newJoin(m, left.node, right.node, outPages, order)
+					if sl.ok[slot] && !betterEntry(score, node, &sl.e[slot]) {
+						w.arena.undo()
 						continue
 					}
-					for _, right := range dp[bit] {
-						if right == nil {
-							continue
-						}
-						for _, m := range c.opts.Methods {
-							jc := s.joinScore(m, left.pages, right.pages, phase)
-							score := left.score + right.score + jc
-							outPages := c.joinOutPages(mask, c.clampPages(left.pages*right.pages*sigma))
-							order := c.joinOutputOrder(m, j, rest, left.order)
-							node := plan.NewJoin(m, left.node, right.node, outPages, order)
-							keep(mask, entry{node: node, score: score, pages: outPages, order: order})
-						}
-					}
+					sl.e[slot] = entry{node: node, score: score, pages: outPages, order: order}
+					sl.ok[slot] = true
 				}
 			}
 		}
 	}
-	return c.finishRoot(dp[full], s)
+}
+
+// keepSlot installs e into its order slot when it beats the incumbent.
+func (c *ctx) keepSlot(sl *dpSlot, e entry) {
+	slot := c.slotOf(e.order)
+	if sl.ok[slot] && !betterEntry(e.score, e.node, &sl.e[slot]) {
+		return
+	}
+	sl.e[slot] = e
+	sl.ok[slot] = true
+}
+
+// betterEntry ranks a challenger against the incumbent: lower score wins,
+// exact ties break on plan signature. Signatures are built only on exact
+// score ties — they allocate, and ties are rare.
+func betterEntry(score float64, node *plan.Node, cur *entry) bool {
+	if score != cur.score {
+		return score < cur.score
+	}
+	return node.Signature() < cur.node.Signature()
 }
 
 // finishRoot applies the ORDER BY enforcer where needed and returns the
 // cheapest completed plan.
-func (c *ctx) finishRoot(slots [2]*entry, s scorer) (Result, error) {
-	var best *entry
+func (c *ctx) finishRoot(sl *dpSlot, s scorer) (Result, error) {
+	var best entry
 	bestSig := ""
+	have := false
 	phase := lastPhase(c.n)
-	for slot, e := range slots {
-		if e == nil {
+	for slot := 0; slot < 2; slot++ {
+		if !sl.ok[slot] {
 			continue
 		}
-		cand := *e
+		cand := sl.e[slot]
 		if c.blk.OrderBy != nil && slot == 0 {
-			cand.score += enforcerScore(s, *e, phase)
-			cand.node = plan.NewSort(e.node, c.requiredOrder())
+			cand.score += enforcerScore(s, sl.e[slot], phase)
+			cand.node = plan.NewSort(cand.node, c.requiredOrder())
 			cand.order = c.requiredOrder()
 		}
 		sig := cand.node.Signature()
-		if best == nil || better(cand.score, sig, best.score, bestSig) {
-			cc := cand
-			best, bestSig = &cc, sig
+		if !have || better(cand.score, sig, best.score, bestSig) {
+			best, bestSig, have = cand, sig, true
 		}
 	}
-	if best == nil {
+	if !have {
 		return Result{}, ErrNoPlan
 	}
 	if err := checkFinite(best.score); err != nil {
 		return Result{}, err
 	}
-	return Result{Plan: best.node, EC: best.score, Candidates: 1}, nil
+	// The winning tree references arena-owned join nodes that are recycled
+	// when the scratch is released; deep-copy it so the Result owns its plan.
+	return Result{Plan: best.node.Clone(), EC: best.score, Candidates: 1}, nil
 }

@@ -59,10 +59,16 @@ type Options struct {
 	SizeBuckets int
 	// Workers bounds the concurrency of the per-bucket LSC runs inside
 	// Algorithms A and B (one System R pass per memory bucket — the
-	// paper's "b standard optimizations", embarrassingly parallel).
-	// 0 uses GOMAXPROCS; 1 runs serially. Workers never changes which
-	// plan is found — per-bucket results are merged in deterministic
-	// bucket order — so it is excluded from plan-cache signatures.
+	// paper's "b standard optimizations", embarrassingly parallel) and
+	// of the rank-parallel subset enumeration inside the single-plan
+	// dynamic programs (LSC, C, C-dynamic) on wide queries: masks of one
+	// popcount rank depend only on smaller ranks, so a rank's masks split
+	// across workers in statically assigned chunks once the rank is wide
+	// enough to amortize the handoff. 0 uses GOMAXPROCS; 1 runs serially.
+	// Workers never changes which plan is found — per-bucket results
+	// merge in deterministic bucket order and every DP mask is expanded
+	// by exactly one worker against finalized smaller ranks — so it is
+	// excluded from plan-cache signatures.
 	Workers int
 	// SizeHints overrides estimated result sizes (in pages) with observed
 	// ones, keyed by feedback.SetKey over the joined tables' names; a
@@ -501,22 +507,32 @@ func (c *ctx) connects(j int, mask uint64) bool {
 // the remainder is unreachable (forced cross product, §2.2's "trivially
 // true predicate").
 func (c *ctx) candidates(mask uint64) []int {
-	var connected, all []int
+	return c.candidatesInto(mask, nil)
+}
+
+// candidatesInto is candidates appending into a caller-owned buffer (pass
+// buf[:0] to reuse it) — the allocation-free form used by the DP's
+// per-worker scratch. The returned order is identical to candidates'.
+func (c *ctx) candidatesInto(mask uint64, buf []int) []int {
 	for j := 0; j < c.n; j++ {
 		bit := uint64(1) << uint(j)
 		if mask&bit == 0 {
 			continue
 		}
-		all = append(all, j)
 		rest := mask &^ bit
 		if rest == 0 || c.connects(j, rest) {
-			connected = append(connected, j)
+			buf = append(buf, j)
 		}
 	}
-	if len(connected) > 0 {
-		return connected
+	if len(buf) > 0 {
+		return buf
 	}
-	return all
+	for j := 0; j < c.n; j++ {
+		if mask&(1<<uint(j)) != 0 {
+			buf = append(buf, j)
+		}
+	}
+	return buf
 }
 
 // isCandidate reports whether table j is an eligible last join input for

@@ -64,6 +64,13 @@ func (c *Cache[V]) shardOf(key string) *shard[V] {
 	return &c.shards[maphash.String(c.seed, key)&(shardCount-1)]
 }
 
+// shardOfBytes must agree with shardOf for equal key contents so string
+// and byte lookups interleave freely; maphash guarantees Bytes(seed, b)
+// == String(seed, string(b)).
+func (c *Cache[V]) shardOfBytes(key []byte) *shard[V] {
+	return &c.shards[maphash.Bytes(c.seed, key)&(shardCount-1)]
+}
+
 // Get returns the cached value for key and whether it was present, marking
 // the entry most-recently-used on a hit.
 func (c *Cache[V]) Get(key string) (V, bool) {
@@ -91,6 +98,37 @@ func (c *Cache[V]) Probe(key string) (V, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[key]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// GetBytes is Get keyed by the raw bytes of a key, for callers that build
+// keys in a reusable buffer (AppendKey): the map lookup's string
+// conversion stays on the stack, so a hit performs zero heap allocations.
+// The key bytes are not retained.
+func (c *Cache[V]) GetBytes(key []byte) (V, bool) {
+	s := c.shardOfBytes(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[string(key)]; ok {
+		s.order.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	c.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// ProbeBytes is Probe keyed by raw key bytes (see GetBytes).
+func (c *Cache[V]) ProbeBytes(key []byte) (V, bool) {
+	s := c.shardOfBytes(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[string(key)]; ok {
 		s.order.MoveToFront(el)
 		return el.Value.(*lruEntry[V]).val, true
 	}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"lecopt/internal/catalog"
 )
@@ -89,12 +90,17 @@ func (f Filter) String() string {
 	return fmt.Sprintf("%s %s %s", f.Col, f.Op, strconv.FormatFloat(f.Value, 'f', -1, 64))
 }
 
-// Block is one SPJ query block.
+// Block is one SPJ query block. Blocks are treated as immutable once
+// handed to the optimizer: Canonical memoizes its signature on first use.
 type Block struct {
 	Tables  []string
 	Joins   []Join
 	Filters []Filter
 	OrderBy *ColRef // optional required output order (ascending)
+
+	// canon caches Canonical's result. Mutating a block after its first
+	// Canonical call would serve the stale signature; clone instead.
+	canon atomic.Pointer[string]
 }
 
 // Validate checks the block against a catalog: every table exists and is
@@ -259,8 +265,20 @@ func (b *Block) Clone() *Block {
 }
 
 // Canonical returns a deterministic signature for deduplication in
-// workload generators: sorted tables and predicates.
+// workload generators and for plan-cache keys: sorted tables and
+// predicates. The signature is computed once per block and memoized —
+// it sits on the serving hot path, where rebuilding it would dominate
+// cache-key construction.
 func (b *Block) Canonical() string {
+	if s := b.canon.Load(); s != nil {
+		return *s
+	}
+	sig := b.canonical()
+	b.canon.Store(&sig)
+	return sig
+}
+
+func (b *Block) canonical() string {
 	tables := append([]string(nil), b.Tables...)
 	sort.Strings(tables)
 	joins := make([]string, len(b.Joins))

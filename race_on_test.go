@@ -1,0 +1,7 @@
+//go:build race
+
+package lecopt
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation adds allocations that would fail the hot-path gates.
+const raceEnabled = true
